@@ -1,0 +1,126 @@
+// Command estrace runs a scenario with the event recorder attached and
+// dumps the scheduler-level trace — spawns, dispatches, timeslice ends,
+// blocks/wakes, migrations with reasons, throttle transitions — as CSV
+// or JSON lines on stdout. The traces are the raw material of the
+// paper's figures (the Fig. 9 CPU trail is the migrate events of the
+// "hottask" scenario).
+//
+// Usage:
+//
+//	estrace [-scenario hottask|mixed|cmp] [-duration 60s] [-seed N] [-format csv|jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"energysched/internal/machine"
+	"energysched/internal/sched"
+	"energysched/internal/thermal"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/workload"
+
+	"energysched/internal/energy"
+)
+
+func main() {
+	scenario := flag.String("scenario", "hottask", "scenario: hottask, mixed, or cmp")
+	duration := flag.Duration("duration", 60*time.Second, "simulated duration")
+	seed := flag.Uint64("seed", 7, "random seed")
+	format := flag.String("format", "csv", "output format: csv or jsonl")
+	limit := flag.Int("limit", 0, "retain at most N events (0 = all)")
+	flag.Parse()
+
+	rec := trace.New(*limit)
+	m, err := build(*scenario, *seed, rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m.Run(int64(*duration / time.Millisecond))
+
+	switch *format {
+	case "csv":
+		err = rec.WriteCSV(os.Stdout)
+	case "jsonl":
+		err = rec.WriteJSONL(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d oldest events dropped by -limit\n", d)
+	}
+}
+
+// build assembles the requested scenario machine with tracing attached.
+func build(name string, seed uint64, rec *trace.Recorder) (*machine.Machine, error) {
+	cat := workload.NewCatalog(energy.DefaultTrueModel())
+	uniform := func(n int, r float64) []thermal.Properties {
+		props := make([]thermal.Properties, n)
+		for i := range props {
+			props[i] = thermal.Properties{R: r, C: 15 / r, AmbientC: 25}
+		}
+		return props
+	}
+	switch name {
+	case "hottask":
+		// The §6.4 / Fig. 9 setup: one bitcnts, 40 W packages, SMT on.
+		m, err := machine.New(machine.Config{
+			Layout:           topology.XSeries445(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             seed,
+			PackageProps:     uniform(8, 0.2),
+			PackageMaxPowerW: []float64{40},
+			ThrottleEnabled:  true,
+			Scope:            machine.ThrottlePerPackage,
+			Trace:            rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Spawn(cat.Bitcnts())
+		return m, nil
+	case "mixed":
+		// The §6.1 mixed workload with energy balancing, SMT off.
+		m, err := machine.New(machine.Config{
+			Layout:           topology.XSeries445NoSMT(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             seed,
+			PackageProps:     uniform(8, 0.2),
+			PackageMaxPowerW: []float64{60},
+			Trace:            rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cat.Table2Set() {
+			m.SpawnN(p, 3)
+		}
+		return m, nil
+	case "cmp":
+		// The §7 CMP extension: one hot task on dual-core chips.
+		m, err := machine.New(machine.Config{
+			Layout:           topology.CMP2x2(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             seed,
+			PackageProps:     uniform(2, 0.1),
+			PackageMaxPowerW: []float64{100},
+			ThrottleEnabled:  true,
+			Scope:            machine.ThrottlePerCore,
+			Trace:            rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Spawn(cat.Bitcnts())
+		return m, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (want hottask, mixed, or cmp)", name)
+}

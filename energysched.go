@@ -1,0 +1,303 @@
+// Package energysched is a full reproduction of "Balancing Power
+// Consumption in Multiprocessor Systems" (Andreas Merkel and Frank
+// Bellosa, EuroSys 2006) as a simulation library.
+//
+// The paper characterizes tasks by their power consumption — estimated
+// online from event monitoring counters — and schedules them across the
+// CPUs of an SMP/SMT/NUMA machine so that no individual processor
+// overheats: energy balancing combines hot and cool tasks on each
+// runqueue, hot task migration moves a lone hot task to a cooler
+// processor just before throttling would engage, and energy-aware
+// initial placement seeds new tasks onto the CPU whose power ratio fits
+// best.
+//
+// This package is the public facade. It wires together the internal
+// substrates — synthetic workloads with per-phase event rates, counter
+// banks, the calibrated energy estimator (E = Σ aᵢ·cᵢ), the RC thermal
+// model with hlt throttling, and the Linux-2.6-style scheduler carrying
+// the paper's policy — into a deterministic tick-driven simulated
+// machine.
+//
+// Quick start:
+//
+//	sys, _ := energysched.New(energysched.Options{})
+//	task := sys.Spawn(sys.Programs().Bitcnts())
+//	sys.Run(60 * time.Second)
+//	fmt.Println(task.Profile.Watts()) // ≈ 61 W
+//
+// The reproduction experiments (every table and figure of the paper's
+// evaluation) live behind the Reproduce* functions and the espower CLI.
+package energysched
+
+import (
+	"time"
+
+	"energysched/internal/counters"
+	"energysched/internal/energy"
+	"energysched/internal/machine"
+	"energysched/internal/rng"
+	"energysched/internal/sched"
+	"energysched/internal/stats"
+	"energysched/internal/thermal"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/workload"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Layout describes the machine shape (NUMA nodes × packages × SMT
+	// threads).
+	Layout = topology.Layout
+	// CPUID identifies a logical CPU.
+	CPUID = topology.CPUID
+	// ThermalProperties are a package's heat-sink characteristics.
+	ThermalProperties = thermal.Properties
+	// Program is a synthetic workload description.
+	Program = workload.Program
+	// Task is the scheduler's handle for a running task (exposes the
+	// energy profile and migration counts).
+	Task = sched.Task
+	// Series is a sampled metric time series.
+	Series = stats.Series
+	// SchedConfig is the full scheduling-policy configuration for
+	// callers that want to tune the paper's knobs directly.
+	SchedConfig = sched.Config
+	// MigrationEvent records one task migration.
+	MigrationEvent = machine.MigrationEvent
+	// TraceRecorder accumulates scheduler-level events (spawns,
+	// dispatches, blocks, migrations, throttle transitions) for
+	// offline analysis; see NewTraceRecorder.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded scheduler event.
+	TraceEvent = trace.Event
+)
+
+// Policy selects a scheduling policy preset.
+type Policy int
+
+const (
+	// PolicyEnergyAware enables all three mechanisms of the paper:
+	// energy balancing (§4.4), hot task migration (§4.5), and
+	// energy-aware initial placement (§4.6).
+	PolicyEnergyAware Policy = iota
+	// PolicyBaseline is vanilla Linux-style scheduling: hierarchical
+	// load balancing only.
+	PolicyBaseline
+)
+
+// ThrottleScope re-exports the throttling granularity.
+type ThrottleScope = machine.ThrottleScope
+
+// Throttling granularities (see machine.ThrottleScope).
+const (
+	ThrottlePerLogical = machine.ThrottlePerLogical
+	ThrottlePerPackage = machine.ThrottlePerPackage
+	ThrottlePerCore    = machine.ThrottlePerCore
+)
+
+// XSeries445 returns the paper's evaluation machine layout (2 NUMA
+// nodes × 4 packages × 2 SMT threads); XSeries445NoSMT the same with
+// hyper-threading disabled.
+func XSeries445() Layout      { return topology.XSeries445() }
+func XSeries445NoSMT() Layout { return topology.XSeries445NoSMT() }
+
+// Options configure a simulated system. The zero value gives the
+// paper's 8-way SMT-off machine with uniform cooling, a 60 W package
+// budget, energy-aware scheduling, perfect energy estimation, and no
+// throttling.
+type Options struct {
+	// Layout is the machine shape; zero means XSeries445NoSMT.
+	Layout Layout
+	// Policy selects the scheduling preset. Sched overrides it when
+	// non-nil.
+	Policy Policy
+	// Sched, when non-nil, gives full control over the policy knobs.
+	Sched *SchedConfig
+	// Seed drives all randomness (workload phases, calibration noise).
+	Seed uint64
+	// PackageProps are per-package thermal properties; empty means
+	// uniform R = 0.2 K/W, τ = 15 s, 25 °C ambient.
+	PackageProps []ThermalProperties
+	// PackageMaxPowerW is the per-package power budget (one value is
+	// broadcast). Zero-length with LimitTempC unset means a 60 W
+	// budget everywhere.
+	PackageMaxPowerW []float64
+	// LimitTempC derives the budgets from a temperature limit instead.
+	LimitTempC float64
+	// Throttle engages hlt duty-cycle throttling at the budget.
+	Throttle bool
+	// Scope selects per-logical or per-package throttling.
+	Scope ThrottleScope
+	// CalibratedEstimation runs the §3.2 multimeter calibration and
+	// uses the recovered (slightly imperfect) weights; false uses the
+	// ground-truth weights.
+	CalibratedEstimation bool
+	// UnitThermal enables the §7 multiple-temperature extension:
+	// per-functional-unit hotspot tracking and unit-temperature
+	// throttling at UnitLimitC (when Throttle is set).
+	UnitThermal bool
+	// UnitLimitC is the functional-unit temperature limit.
+	UnitLimitC float64
+
+	// MonitorPeriod is the metric sampling interval; zero disables
+	// series collection.
+	MonitorPeriod time.Duration
+	// RespawnFinished restarts finished programs to hold load constant.
+	RespawnFinished bool
+	// Trace, when non-nil, records scheduler-level events of the run;
+	// export them with TraceRecorder.WriteCSV / WriteJSONL.
+	Trace *TraceRecorder
+}
+
+// System is a simulated multiprocessor machine running the energy-aware
+// scheduler.
+type System struct {
+	m       *machine.Machine
+	catalog *workload.Catalog
+}
+
+// New builds a system from options.
+func New(opt Options) (*System, error) {
+	layout := opt.Layout
+	if layout == (Layout{}) {
+		layout = XSeries445NoSMT()
+	}
+	pol := sched.DefaultConfig()
+	if opt.Policy == PolicyBaseline {
+		pol = sched.BaselineConfig()
+	}
+	if opt.Sched != nil {
+		pol = *opt.Sched
+	}
+	budgets := opt.PackageMaxPowerW
+	if len(budgets) == 0 && opt.LimitTempC == 0 {
+		budgets = []float64{60}
+	}
+	var est *energy.Estimator
+	if opt.CalibratedEstimation {
+		model := energy.DefaultTrueModel()
+		cat := workload.NewCatalog(model)
+		var apps []counters.Rates
+		for _, prog := range cat.Table2Set() {
+			for _, ph := range prog.Phases {
+				apps = append(apps, ph.Rates)
+			}
+		}
+		r := rng.New(opt.Seed)
+		meter := energy.NewMultimeter(0.02, r.Split())
+		var err error
+		est, err = energy.Calibrate(model, meter, apps, energy.DefaultCalibrationConfig(), r.Split())
+		if err != nil {
+			return nil, err
+		}
+	}
+	m, err := machine.New(machine.Config{
+		Layout:           layout,
+		Sched:            pol,
+		Seed:             opt.Seed,
+		PackageProps:     opt.PackageProps,
+		PackageMaxPowerW: budgets,
+		LimitTempC:       opt.LimitTempC,
+		ThrottleEnabled:  opt.Throttle,
+		Scope:            opt.Scope,
+		UnitThermal:      opt.UnitThermal,
+		UnitLimitC:       opt.UnitLimitC,
+		Estimator:        est,
+		MonitorPeriodMS:  int(opt.MonitorPeriod / time.Millisecond),
+		RespawnFinished:  opt.RespawnFinished,
+		Trace:            opt.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m, catalog: workload.NewCatalog(energy.DefaultTrueModel())}, nil
+}
+
+// Programs returns the catalog of the paper's test programs (Table 2
+// plus the interactive Table 1 programs), built against the system's
+// power model.
+func (s *System) Programs() *workload.Catalog { return s.catalog }
+
+// FiniteWork returns a copy of a program that finishes after the given
+// CPU time, for throughput experiments.
+func FiniteWork(p *Program, cpuTime time.Duration) *Program {
+	return workload.WithWork(p, float64(cpuTime/time.Millisecond))
+}
+
+// Spawn starts one instance of a program and returns its task handle.
+func (s *System) Spawn(p *Program) *Task { return s.m.Spawn(p) }
+
+// SpawnN starts n instances of a program.
+func (s *System) SpawnN(p *Program, n int) { s.m.SpawnN(p, n) }
+
+// Run advances the simulation.
+func (s *System) Run(d time.Duration) { s.m.Run(int64(d / time.Millisecond)) }
+
+// Now returns the simulated time.
+func (s *System) Now() time.Duration { return time.Duration(s.m.NowMS()) * time.Millisecond }
+
+// ThermalPower returns a CPU's current thermal-power metric (W).
+func (s *System) ThermalPower(cpu CPUID) float64 { return s.m.Sched.Power[int(cpu)].ThermalPower() }
+
+// PackageTemp returns a package's junction temperature (°C).
+func (s *System) PackageTemp(pkg int) float64 { return s.m.PackageTemp(pkg) }
+
+// ThermalPowerSeries returns the sampled thermal-power series of a CPU
+// (nil unless MonitorPeriod was set).
+func (s *System) ThermalPowerSeries(cpu CPUID) *Series { return s.m.ThermalPowerSeries(cpu) }
+
+// ThrottledFrac returns the fraction of time a CPU has been throttled.
+func (s *System) ThrottledFrac(cpu CPUID) float64 { return s.m.ThrottledFrac(cpu) }
+
+// AvgThrottledFrac returns the machine-wide average throttled fraction.
+func (s *System) AvgThrottledFrac() float64 { return s.m.AvgThrottledFrac() }
+
+// Completions returns the number of finished task instances.
+func (s *System) Completions() int64 { return s.m.Completions }
+
+// Throughput returns completions per simulated second since the last
+// ResetStats.
+func (s *System) Throughput() float64 { return s.m.Throughput() }
+
+// WorkRate returns the speed-weighted fraction of CPU capacity in use
+// ("full CPUs" of useful work).
+func (s *System) WorkRate() float64 { return s.m.WorkRate() }
+
+// MigrationCount returns the number of task migrations so far.
+func (s *System) MigrationCount() int64 { return s.m.MigrationCount() }
+
+// Migrations returns the recorded migration events.
+func (s *System) Migrations() []MigrationEvent { return s.m.Migrations }
+
+// TaskCPU returns the CPU a task currently belongs to (-1 if finished).
+func (s *System) TaskCPU(t *Task) CPUID { return s.m.TaskCPU(t.ID) }
+
+// ResetStats clears the throughput/migration/throttle accounting,
+// typically after a thermal warm-up.
+func (s *System) ResetStats() { s.m.ResetStats() }
+
+// CMP2x2 returns a §7-style chip-multiprocessor layout: one node, two
+// dual-core packages, SMT off.
+func CMP2x2() Layout { return topology.CMP2x2() }
+
+// CoreTemp returns the junction temperature of a core's local thermal
+// node (on single-core packages, the package temperature).
+func (s *System) CoreTemp(core int) float64 { return s.m.CoreTemp(core) }
+
+// MaxUnitTemp returns the hottest functional-unit temperature on the
+// machine (§7 extension; the hottest core temperature when unit
+// tracking is off).
+func (s *System) MaxUnitTemp() float64 { return s.m.MaxUnitTemp() }
+
+// DefaultSchedConfig returns the paper's energy-aware policy with its
+// default tuning, for callers that want to flip individual knobs.
+func DefaultSchedConfig() SchedConfig { return sched.DefaultConfig() }
+
+// BaselineSchedConfig returns the vanilla load-balancing-only policy.
+func BaselineSchedConfig() SchedConfig { return sched.BaselineConfig() }
+
+// NewTraceRecorder creates an event recorder retaining at most limit
+// events (0 = unbounded), for Options.Trace.
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.New(limit) }

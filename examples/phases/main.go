@@ -1,0 +1,42 @@
+// Phases: watch the online energy estimation machinery itself. An
+// openssl-like task cycles through algorithm phases with different
+// power draws; the task's energy profile — a variable-period
+// exponential average over per-timeslice counter-based energy estimates
+// (§3.3) — tracks each phase with a short lag while ignoring momentary
+// spikes.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"energysched"
+)
+
+func main() {
+	sys, err := energysched.New(energysched.Options{
+		Layout:               energysched.Layout{Nodes: 1, PackagesPerNode: 1, ThreadsPerPackage: 1},
+		Seed:                 99,
+		CalibratedEstimation: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	task := sys.Spawn(sys.Programs().Openssl())
+
+	fmt.Println("openssl energy profile over time (profile in W, one row per 500 ms):")
+	fmt.Println("      30W        40W        50W        60W")
+	for i := 0; i < 60; i++ {
+		sys.Run(500 * time.Millisecond)
+		w := task.Profile.Watts()
+		col := int((w - 28) / 35 * 44)
+		if col < 0 {
+			col = 0
+		}
+		if col > 44 {
+			col = 44
+		}
+		fmt.Printf("%4.1fs %s* %5.1f W\n", sys.Now().Seconds(), strings.Repeat(" ", col), w)
+	}
+}

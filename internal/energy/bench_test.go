@@ -1,0 +1,31 @@
+package energy
+
+import (
+	"testing"
+
+	"energysched/internal/counters"
+)
+
+func BenchmarkEstimatorEnergy(b *testing.B) {
+	m := DefaultTrueModel()
+	est := PerfectEstimator(m)
+	var sig Signature
+	sig[counters.UopsRetired] = 1
+	c := m.RatesForPower(50, sig).Counts(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est.EnergyJ(c, 0)
+	}
+}
+
+func BenchmarkCalibrate(b *testing.B) {
+	m := DefaultTrueModel()
+	apps := calibrationApps(m)
+	for i := 0; i < b.N; i++ {
+		r := newBenchRng(uint64(i))
+		meter := NewMultimeter(0.02, r.Split())
+		if _, err := Calibrate(m, meter, apps, DefaultCalibrationConfig(), r.Split()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package energy implements the paper's event-driven energy accounting
+// (§3.2, following Bellosa et al. [8]):
+//
+//	E = Σ aᵢ · cᵢ                                   (Eq. 1)
+//
+// where cᵢ are event-counter deltas and aᵢ are per-event energy weights.
+//
+// Three roles live here:
+//
+//   - TrueModel is the simulated silicon: the hidden ground truth that
+//     converts event activity into Watts. The scheduler never sees it.
+//   - Multimeter measures the true energy of a calibration window with
+//     instrument noise, standing in for the paper's bench multimeter.
+//   - Estimator is the kernel-side component: weights recovered by
+//     Calibrate from multimeter readings, applied online to counter
+//     deltas. The paper reports an estimation error below 10 % for
+//     real-world applications; the calibration test verifies the same
+//     property holds here.
+//
+// Units: Watts for power, Joules for energy, milliseconds for time
+// (matching the simulator tick). Event weights are Joules per event.
+//
+// The CPU's static execution power (clock tree, leakage while not
+// halted) is folded into the Cycles event weight: a non-halted CPU
+// retires ClockMHz·1000 cycles per millisecond regardless of workload,
+// so static power appears as a constant cycles-proportional term —
+// exactly how counter-based estimators capture base power in practice.
+package energy
+
+import (
+	"fmt"
+
+	"energysched/internal/counters"
+	"energysched/internal/linalg"
+	"energysched/internal/rng"
+)
+
+// Weights holds one energy weight (Joules per event) per event class.
+type Weights [counters.NumEvents]float64
+
+// TrueModel is the ground-truth power model of the simulated processor.
+type TrueModel struct {
+	// Weights are the true Joules-per-event coefficients.
+	Weights Weights
+	// HaltPower is the power drawn while the CPU executes hlt (W).
+	// The paper measures 13.6 W for the Xeon test system (§6.4).
+	HaltPower float64
+	// ClockMHz is the core clock; the paper's machine runs 2.2 GHz.
+	ClockMHz float64
+}
+
+// Paper-calibrated constants of the reference machine.
+const (
+	// DefaultHaltPower is the sleep-state power from §6.4.
+	DefaultHaltPower = 13.6
+	// DefaultClockMHz is the 2.2 GHz Xeon clock.
+	DefaultClockMHz = 2200
+	// DefaultExecBase is the static power while executing (W); chosen
+	// so that the idle-loop power sits well below every Table 2
+	// program, as on the real machine.
+	DefaultExecBase = 25.0
+)
+
+// CyclesPerMS returns the number of clock cycles in one millisecond.
+func (m *TrueModel) CyclesPerMS() float64 { return m.ClockMHz * 1000 }
+
+// DefaultTrueModel returns the reference machine's ground truth. The
+// per-event weights are loosely scaled from published Pentium 4 energy
+// accounting work: memory transactions are the most expensive events,
+// retired µops the cheapest high-frequency ones.
+func DefaultTrueModel() *TrueModel {
+	m := &TrueModel{HaltPower: DefaultHaltPower, ClockMHz: DefaultClockMHz}
+	// Static execution power folded into the cycles weight:
+	// ExecBase W = weight · cycles/ms · 1000 (ms→s) ⇒ weight = ExecBase / (cycles/ms · 1000).
+	m.Weights[counters.Cycles] = DefaultExecBase / (m.CyclesPerMS() * 1000)
+	// Dynamic event weights (Joules/event).
+	m.Weights[counters.UopsRetired] = 8e-9
+	m.Weights[counters.FPOps] = 25e-9
+	m.Weights[counters.L2Misses] = 120e-9
+	m.Weights[counters.MemTransactions] = 300e-9
+	m.Weights[counters.Branches] = 4e-9
+	return m
+}
+
+// EnergyJ converts a counter delta plus halted time into Joules of true
+// consumption. haltMS is the time the CPU spent halted during the
+// interval (it produces no events but still draws HaltPower).
+func (m *TrueModel) EnergyJ(delta counters.Counts, haltMS float64) float64 {
+	e := weightedEnergy(m.Weights, delta)
+	return e + m.HaltPower*haltMS/1000
+}
+
+// ExecPower returns the instantaneous power (W) while executing with the
+// given event rates (events per ms). The cycles component contributes
+// the static execution power.
+func (m *TrueModel) ExecPower(r counters.Rates) float64 {
+	p := 0.0
+	for i, w := range m.Weights {
+		p += w * r[i] * 1000 // events/ms → events/s
+	}
+	return p
+}
+
+// Signature describes how a workload's dynamic power is split across
+// event classes. Fractions must be non-negative; Cycles must be zero
+// (the cycles component is fixed by the clock, not by the workload).
+type Signature [counters.NumEvents]float64
+
+// RatesForPower derives an event-rate vector (events/ms) whose true
+// execution power equals execWatts: the fixed cycles rate contributes
+// the static power, and each dynamic event class i receives sig[i] of
+// the remaining dynamic power. It panics if execWatts is below the
+// static power or the signature is invalid — workload definitions are
+// programmer input.
+func (m *TrueModel) RatesForPower(execWatts float64, sig Signature) counters.Rates {
+	var r counters.Rates
+	r[counters.Cycles] = m.CyclesPerMS()
+	static := m.Weights[counters.Cycles] * r[counters.Cycles] * 1000
+	dyn := execWatts - static
+	if dyn < 0 {
+		panic(fmt.Sprintf("energy: target power %.1f W below static power %.1f W", execWatts, static))
+	}
+	if sig[counters.Cycles] != 0 {
+		panic("energy: signature must not assign power to the cycles event")
+	}
+	total := 0.0
+	for _, f := range sig {
+		if f < 0 {
+			panic("energy: negative signature fraction")
+		}
+		total += f
+	}
+	if total <= 0 {
+		panic("energy: empty signature")
+	}
+	for i, f := range sig {
+		if f == 0 || counters.Event(i) == counters.Cycles {
+			continue
+		}
+		// watts = weight · rate · 1000 ⇒ rate = watts / (weight·1000)
+		r[i] = dyn * (f / total) / (m.Weights[i] * 1000)
+	}
+	return r
+}
+
+// Multimeter measures energy with multiplicative Gaussian instrument
+// noise, standing in for the paper's calibration multimeter.
+type Multimeter struct {
+	// NoiseFrac is the 1-sigma relative measurement error
+	// (e.g. 0.02 for 2 %).
+	NoiseFrac float64
+	rng       *rng.Source
+}
+
+// NewMultimeter creates a meter with the given relative noise.
+func NewMultimeter(noiseFrac float64, r *rng.Source) *Multimeter {
+	return &Multimeter{NoiseFrac: noiseFrac, rng: r}
+}
+
+// Measure returns trueJoules perturbed by instrument noise.
+func (mm *Multimeter) Measure(trueJoules float64) float64 {
+	return trueJoules * (1 + mm.NoiseFrac*mm.rng.NormFloat64())
+}
+
+// Estimator is the kernel-resident energy estimator: calibrated weights
+// applied to counter deltas (Eq. 1). The halt power is known to the
+// kernel (it is measured once, as in §6.4).
+type Estimator struct {
+	Weights   Weights
+	HaltPower float64
+}
+
+// EnergyJ estimates the Joules consumed over an interval from the
+// counter delta and the halted time within the interval.
+func (e *Estimator) EnergyJ(delta counters.Counts, haltMS float64) float64 {
+	return weightedEnergy(e.Weights, delta) + e.HaltPower*haltMS/1000
+}
+
+// PowerW estimates average power over an interval of intervalMS
+// milliseconds, of which haltMS were spent halted.
+func (e *Estimator) PowerW(delta counters.Counts, haltMS, intervalMS float64) float64 {
+	if intervalMS <= 0 {
+		return 0
+	}
+	return e.EnergyJ(delta, haltMS) / (intervalMS / 1000)
+}
+
+func weightedEnergy(w Weights, delta counters.Counts) float64 {
+	e := 0.0
+	for i, wi := range w {
+		e += wi * float64(delta[i])
+	}
+	return e
+}
+
+// PerfectEstimator returns an estimator with the ground-truth weights,
+// for experiments that want to isolate scheduling effects from
+// calibration error.
+func PerfectEstimator(m *TrueModel) *Estimator {
+	return &Estimator{Weights: m.Weights, HaltPower: m.HaltPower}
+}
+
+// CalibrationConfig controls the offline calibration procedure.
+type CalibrationConfig struct {
+	// WindowMS is the length of one measurement window.
+	WindowMS float64
+	// WindowsPerApp is the number of measurement windows per
+	// calibration application.
+	WindowsPerApp int
+	// RateJitterFrac perturbs each window's event rates, modeling the
+	// natural run-to-run variation of the calibration programs.
+	RateJitterFrac float64
+}
+
+// DefaultCalibrationConfig mirrors the paper's setup: multi-second
+// windows over a set of test applications.
+func DefaultCalibrationConfig() CalibrationConfig {
+	return CalibrationConfig{WindowMS: 2000, WindowsPerApp: 8, RateJitterFrac: 0.05}
+}
+
+// Calibrate recovers estimator weights from multimeter measurements of
+// the given calibration applications (described by their event-rate
+// vectors), solving the overdetermined linear system with least squares
+// exactly as §3.2 describes. The returned estimator inherits the
+// model's halt power, which is measured separately.
+//
+// The calibration apps must jointly exercise every event class with
+// linearly independent signatures, otherwise the system is
+// rank-deficient and an error is returned.
+func Calibrate(m *TrueModel, meter *Multimeter, apps []counters.Rates, cfg CalibrationConfig, r *rng.Source) (*Estimator, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("energy: no calibration applications")
+	}
+	rows := len(apps) * cfg.WindowsPerApp
+	if rows < int(counters.NumEvents) {
+		return nil, fmt.Errorf("energy: %d measurement windows cannot determine %d weights", rows, counters.NumEvents)
+	}
+	a := linalg.NewMatrix(rows, int(counters.NumEvents))
+	b := make([]float64, rows)
+	row := 0
+	for _, rates := range apps {
+		for w := 0; w < cfg.WindowsPerApp; w++ {
+			// Jitter the rates to model run-to-run variation.
+			jittered := rates
+			for i := range jittered {
+				if i == int(counters.Cycles) {
+					continue // the clock does not jitter
+				}
+				jittered[i] *= 1 + cfg.RateJitterFrac*r.NormFloat64()
+				if jittered[i] < 0 {
+					jittered[i] = 0
+				}
+			}
+			cnt := jittered.Counts(cfg.WindowMS)
+			trueJ := m.EnergyJ(cnt, 0)
+			measured := meter.Measure(trueJ)
+			for i := 0; i < int(counters.NumEvents); i++ {
+				a.Set(row, i, float64(cnt[i]))
+			}
+			b[row] = measured
+			row++
+		}
+	}
+	w, err := linalg.LeastSquares(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("energy: calibration solve failed: %w", err)
+	}
+	est := &Estimator{HaltPower: m.HaltPower}
+	copy(est.Weights[:], w)
+	return est, nil
+}

@@ -1,0 +1,247 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energysched/internal/counters"
+	"energysched/internal/rng"
+)
+
+func TestRatesForPowerRoundTrip(t *testing.T) {
+	m := DefaultTrueModel()
+	sig := Signature{}
+	sig[counters.UopsRetired] = 0.7
+	sig[counters.MemTransactions] = 0.2
+	sig[counters.Branches] = 0.1
+	for _, watts := range []float64{30, 38, 47, 50, 61} {
+		r := m.RatesForPower(watts, sig)
+		got := m.ExecPower(r)
+		if math.Abs(got-watts) > 1e-6 {
+			t.Errorf("ExecPower(RatesForPower(%v)) = %v", watts, got)
+		}
+	}
+}
+
+func TestRatesForPowerBelowStaticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for sub-static power target")
+		}
+	}()
+	m := DefaultTrueModel()
+	var sig Signature
+	sig[counters.UopsRetired] = 1
+	m.RatesForPower(10, sig) // below the 25 W static power
+}
+
+func TestRatesForPowerRejectsCyclesSignature(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for cycles in signature")
+		}
+	}()
+	m := DefaultTrueModel()
+	var sig Signature
+	sig[counters.Cycles] = 1
+	m.RatesForPower(40, sig)
+}
+
+func TestIdlePowerIsHaltPower(t *testing.T) {
+	m := DefaultTrueModel()
+	// A fully halted second consumes HaltPower joules per second.
+	e := m.EnergyJ(counters.Counts{}, 1000)
+	if math.Abs(e-m.HaltPower) > 1e-9 {
+		t.Fatalf("halted energy = %v J, want %v", e, m.HaltPower)
+	}
+}
+
+func TestEnergyMatchesPowerIntegral(t *testing.T) {
+	m := DefaultTrueModel()
+	var sig Signature
+	sig[counters.UopsRetired] = 1
+	r := m.RatesForPower(50, sig)
+	// 500 ms of execution at 50 W = 25 J.
+	c := r.Counts(500)
+	e := m.EnergyJ(c, 0)
+	if math.Abs(e-25) > 0.1 {
+		t.Fatalf("energy = %v J, want ~25", e)
+	}
+}
+
+func TestPerfectEstimatorMatchesTruth(t *testing.T) {
+	m := DefaultTrueModel()
+	est := PerfectEstimator(m)
+	var sig Signature
+	sig[counters.FPOps] = 0.5
+	sig[counters.L2Misses] = 0.5
+	r := m.RatesForPower(45, sig)
+	c := r.Counts(100)
+	if got, want := est.EnergyJ(c, 0), m.EnergyJ(c, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("perfect estimator %v vs truth %v", got, want)
+	}
+}
+
+func TestEstimatorPowerW(t *testing.T) {
+	m := DefaultTrueModel()
+	est := PerfectEstimator(m)
+	var sig Signature
+	sig[counters.UopsRetired] = 1
+	r := m.RatesForPower(61, sig)
+	c := r.Counts(100)
+	p := est.PowerW(c, 0, 100)
+	if math.Abs(p-61) > 0.5 {
+		t.Fatalf("PowerW = %v, want ~61", p)
+	}
+	if est.PowerW(c, 0, 0) != 0 {
+		t.Fatal("zero-interval power should be 0")
+	}
+}
+
+// calibrationApps returns rate vectors with linearly independent
+// signatures covering every dynamic event class, like the paper's set of
+// test applications.
+func calibrationApps(m *TrueModel) []counters.Rates {
+	mk := func(watts float64, set func(*Signature)) counters.Rates {
+		var sig Signature
+		set(&sig)
+		return m.RatesForPower(watts, sig)
+	}
+	return []counters.Rates{
+		mk(60, func(s *Signature) { s[counters.UopsRetired] = 0.9; s[counters.Branches] = 0.1 }),
+		mk(38, func(s *Signature) { s[counters.MemTransactions] = 0.6; s[counters.L2Misses] = 0.4 }),
+		mk(50, func(s *Signature) { s[counters.FPOps] = 0.8; s[counters.UopsRetired] = 0.2 }),
+		mk(47, func(s *Signature) { s[counters.Branches] = 0.5; s[counters.UopsRetired] = 0.5 }),
+		mk(44, func(s *Signature) { s[counters.L2Misses] = 0.7; s[counters.FPOps] = 0.3 }),
+		mk(55, func(s *Signature) {
+			s[counters.UopsRetired] = 0.3
+			s[counters.MemTransactions] = 0.3
+			s[counters.FPOps] = 0.2
+			s[counters.L2Misses] = 0.1
+			s[counters.Branches] = 0.1
+		}),
+	}
+}
+
+// The paper: "yields an estimation error of less than 10% for real-world
+// applications". Verify the full calibrate-then-estimate pipeline meets
+// that bound on workloads it was not calibrated on.
+func TestCalibrationErrorBelowTenPercent(t *testing.T) {
+	m := DefaultTrueModel()
+	r := rng.New(2006)
+	meter := NewMultimeter(0.02, r.Split())
+	est, err := Calibrate(m, meter, calibrationApps(m), DefaultCalibrationConfig(), r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on unseen mixes.
+	eval := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		var sig Signature
+		total := 0.0
+		for i := range sig {
+			if counters.Event(i) == counters.Cycles {
+				continue
+			}
+			sig[i] = eval.Float64()
+			total += sig[i]
+		}
+		if total == 0 {
+			continue
+		}
+		watts := 30 + eval.Float64()*35
+		rates := m.RatesForPower(watts, sig)
+		c := rates.Counts(100)
+		trueJ := m.EnergyJ(c, 0)
+		estJ := est.EnergyJ(c, 0)
+		relErr := math.Abs(estJ-trueJ) / trueJ
+		if relErr > 0.10 {
+			t.Fatalf("trial %d: estimation error %.1f%% exceeds 10%%", trial, relErr*100)
+		}
+	}
+}
+
+func TestCalibrationRecoverWeightsNoNoise(t *testing.T) {
+	m := DefaultTrueModel()
+	r := rng.New(5)
+	meter := NewMultimeter(0, r.Split()) // perfect meter
+	cfg := DefaultCalibrationConfig()
+	cfg.RateJitterFrac = 0.10 // jitter still needed for row independence
+	est, err := Calibrate(m, meter, calibrationApps(m), cfg, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Weights {
+		if m.Weights[i] == 0 {
+			continue
+		}
+		rel := math.Abs(est.Weights[i]-m.Weights[i]) / m.Weights[i]
+		if rel > 0.02 {
+			t.Errorf("weight %v off by %.2f%%", counters.Event(i), rel*100)
+		}
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m := DefaultTrueModel()
+	r := rng.New(9)
+	meter := NewMultimeter(0.02, r.Split())
+	if _, err := Calibrate(m, meter, nil, DefaultCalibrationConfig(), r.Split()); err == nil {
+		t.Error("empty app set should error")
+	}
+	cfg := CalibrationConfig{WindowMS: 100, WindowsPerApp: 1}
+	apps := calibrationApps(m)[:2] // 2 rows < 6 unknowns
+	if _, err := Calibrate(m, meter, apps, cfg, r.Split()); err == nil {
+		t.Error("underdetermined calibration should error")
+	}
+	// Identical apps with no jitter → rank-deficient.
+	same := []counters.Rates{apps[0], apps[0], apps[0], apps[0], apps[0], apps[0], apps[0]}
+	cfg = CalibrationConfig{WindowMS: 100, WindowsPerApp: 2, RateJitterFrac: 0}
+	if _, err := Calibrate(m, meter, same, cfg, r.Split()); err == nil {
+		t.Error("rank-deficient calibration should error")
+	}
+}
+
+// Property: estimator energy is additive over counter deltas.
+func TestQuickEstimatorAdditive(t *testing.T) {
+	m := DefaultTrueModel()
+	est := PerfectEstimator(m)
+	f := func(a, b [6]uint32) bool {
+		var ca, cb counters.Counts
+		for i := 0; i < int(counters.NumEvents); i++ {
+			ca[i] = uint64(a[i])
+			cb[i] = uint64(b[i])
+		}
+		sum := est.EnergyJ(ca.Add(cb), 0)
+		parts := est.EnergyJ(ca, 0) + est.EnergyJ(cb, 0)
+		return math.Abs(sum-parts) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ExecPower is monotone in target watts for a fixed signature.
+func TestQuickRatesForPowerMonotone(t *testing.T) {
+	m := DefaultTrueModel()
+	var sig Signature
+	sig[counters.UopsRetired] = 0.5
+	sig[counters.MemTransactions] = 0.5
+	f := func(a, b uint8) bool {
+		w1 := 26 + float64(a)/4 // 26..90 W
+		w2 := 26 + float64(b)/4
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		r1 := m.RatesForPower(w1, sig)
+		r2 := m.RatesForPower(w2, sig)
+		return m.ExecPower(r1) <= m.ExecPower(r2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newBenchRng keeps the benchmark file free of direct rng imports.
+func newBenchRng(seed uint64) *rng.Source { return rng.New(seed) }

@@ -1,0 +1,101 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6) on the simulated machine. Each experiment is a pure
+// function of its parameters and a seed, so every number in
+// EXPERIMENTS.md regenerates deterministically.
+//
+// Absolute values are not expected to match the paper — the substrate is
+// a simulator, not the authors' xSeries 445 — but the shapes are: who
+// wins, by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"energysched/internal/counters"
+	"energysched/internal/energy"
+	"energysched/internal/machine"
+	"energysched/internal/rng"
+	"energysched/internal/sched"
+	"energysched/internal/thermal"
+	"energysched/internal/topology"
+	"energysched/internal/workload"
+)
+
+// ReferenceProps returns the heterogeneous thermal properties of the
+// eight packages of the simulated xSeries 445. The paper calibrated its
+// model "separately for each of the eight processors to account for
+// their individual thermal properties" (§6.2); Table 3 shows packages
+// 0, 3 and 4 throttling (logical CPUs 0/8, 3/11, 4/12) while the others
+// never exceed the 38 °C limit.
+//
+// All packages share the τ = 15 s time constant; the heat-sink
+// resistance R varies: packages 0, 3, 4 cool poorly, 1 and 5 are
+// medium, 2, 6, 7 sit near the air inlets and cool well. With the
+// 38 °C limit of §6.2 the budgets (13 K / R) are roughly 46–52 W for
+// the poor packages, 62–65 W for the medium ones, and 76–87 W for the
+// good ones — the good packages never throttle even under bitcnts
+// pairs.
+func ReferenceProps() []thermal.Properties {
+	rs := []float64{0.30, 0.22, 0.17, 0.28, 0.27, 0.21, 0.16, 0.15}
+	props := make([]thermal.Properties, len(rs))
+	for i, r := range rs {
+		props[i] = thermal.Properties{R: r, C: 15 / r, AmbientC: 25}
+	}
+	return props
+}
+
+// UniformProps returns n packages with identical properties (R, τ = 15 s,
+// 25 °C ambient), for the experiments that set explicit power budgets.
+func UniformProps(n int, r float64) []thermal.Properties {
+	props := make([]thermal.Properties, n)
+	for i := range props {
+		props[i] = thermal.Properties{R: r, C: 15 / r, AmbientC: 25}
+	}
+	return props
+}
+
+// Model returns the ground-truth power model shared by all experiments.
+func Model() *energy.TrueModel { return energy.DefaultTrueModel() }
+
+// Catalog returns the workload catalog over the reference model.
+func Catalog() *workload.Catalog { return workload.NewCatalog(Model()) }
+
+// CalibratedEstimator runs the §3.2 calibration procedure — multimeter
+// with 2 % instrument noise over the Table 2 programs' steady phases —
+// and returns the resulting kernel estimator. Experiments use it so that
+// estimation error is part of every result, as on the real system.
+func CalibratedEstimator(seed uint64) (*energy.Estimator, error) {
+	m := Model()
+	r := rng.New(seed)
+	cat := Catalog()
+	var appRates []counters.Rates
+	for _, prog := range cat.Table2Set() {
+		for _, ph := range prog.Phases {
+			appRates = append(appRates, ph.Rates)
+		}
+	}
+	meter := energy.NewMultimeter(0.02, r.Split())
+	return energy.Calibrate(m, meter, appRates, energy.DefaultCalibrationConfig(), r.Split())
+}
+
+// policyPair runs the same machine configuration twice — energy-aware
+// scheduling disabled then enabled — with identical seeds, so workloads
+// are tick-for-tick comparable.
+func policyPair(mk func(cfg sched.Config) *machine.Machine) (off, on *machine.Machine) {
+	return mk(sched.BaselineConfig()), mk(sched.DefaultConfig())
+}
+
+// mixedWorkload spawns count instances of each Table 2 program (§6.1:
+// "we ran a mixed workload consisting of six different programs and
+// started each program thrice").
+func mixedWorkload(m *machine.Machine, perProgram int, workMS float64) {
+	for _, p := range Catalog().Table2Set() {
+		if workMS > 0 {
+			p = workload.WithWork(p, workMS)
+		}
+		m.SpawnN(p, perProgram)
+	}
+}
+
+// xseriesSMT returns the 16-logical-CPU layout, xseriesNoSMT the 8-CPU
+// one.
+func xseriesSMT() topology.Layout   { return topology.XSeries445() }
+func xseriesNoSMT() topology.Layout { return topology.XSeries445NoSMT() }

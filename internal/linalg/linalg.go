@@ -1,0 +1,268 @@
+// Package linalg provides the small dense linear-algebra kernel the
+// energy-weight calibration needs (§3.2 of the paper: "The weights aᵢ are
+// calibrated by measuring the real energy consumption with a multimeter
+// for several test applications, counting the events that occur during
+// the test runs, and solving the resulting linear equations").
+//
+// Calibration produces an overdetermined system A·w = e (one row per
+// measurement window, one column per event class, e the measured
+// energies); we solve it in the least-squares sense. Two solvers are
+// provided: Householder QR (the default, numerically robust) and normal
+// equations via Gaussian elimination with partial pivoting (simpler,
+// used to cross-check the QR path in tests).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d vs %d", i, len(r), m.Cols))
+		}
+		copy(m.data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// ErrSingular is returned when a system has no unique solution at
+// working precision.
+var ErrSingular = errors.New("linalg: matrix is singular or ill-conditioned")
+
+// SolveSquare solves the square system a·x = b in place using Gaussian
+// elimination with partial pivoting. a and b are clobbered.
+func SolveSquare(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: SolveSquare needs a square system")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |a[r][col]| for r >= col.
+		pivot := col
+		pmax := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pmax < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := a.At(col, j)
+				a.Set(col, j, a.At(pivot, j))
+				a.Set(pivot, j, tmp)
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquaresNormal solves min‖a·x − b‖₂ via the normal equations
+// aᵀa·x = aᵀb. Fast but squares the condition number; retained as a
+// cross-check for the QR solver.
+func LeastSquaresNormal(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		panic("linalg: rhs length mismatch")
+	}
+	at := a.Transpose()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	return SolveSquare(ata, atb)
+}
+
+// LeastSquares solves min‖a·x − b‖₂ using Householder QR factorization.
+// It requires a.Rows >= a.Cols and full column rank.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		panic("linalg: rhs length mismatch")
+	}
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: underdetermined system %dx%d", m, n)
+	}
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+
+	// Householder QR: for each column, reflect so the subdiagonal
+	// vanishes; apply the same reflection to the RHS.
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k, rows k..m-1.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			return nil, ErrSingular
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 < 1e-24 {
+			continue // column already reduced
+		}
+		// Apply H = I − 2vvᵀ/‖v‖² to R's remaining columns and to y.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i])
+			}
+		}
+		dot := 0.0
+		for i := k; i < m; i++ {
+			dot += v[i] * y[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < m; i++ {
+			y[i] -= f * v[i]
+		}
+	}
+
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Residual returns ‖a·x − b‖₂.
+func Residual(a *Matrix, x, b []float64) float64 {
+	y := a.MulVec(x)
+	s := 0.0
+	for i := range y {
+		d := y[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energysched/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v", m.At(2, 1))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 2 || tr.Cols != 3 || tr.At(1, 2) != 6 {
+		t.Fatal("Transpose wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSolveSquareKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveSquare(a.Clone(), []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSquareNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveSquare(a.Clone(), []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSquare(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system did not error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Consistent overdetermined system: solution recovers exactly.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	want := []float64{2, -1}
+	b := a.MulVec(want)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLeastSquaresRegression(t *testing.T) {
+	// Fit y = 2x + 1 to noisy-free points: columns [x, 1].
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-10) || !almostEqual(x[1], 1, 1e-10) {
+		t.Fatalf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(a, []float64{1}); err == nil {
+		t.Fatal("underdetermined system did not error")
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("rank-deficient system did not error")
+	}
+}
+
+func TestNormalEquationsAgreeWithQR(t *testing.T) {
+	src := rng.New(1234)
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 12+src.Intn(8), 2+src.Intn(4)
+		a := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, src.NormFloat64())
+			}
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = src.NormFloat64()
+		}
+		x1, err1 := LeastSquares(a, b)
+		x2, err2 := LeastSquaresNormal(a, b)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("solvers errored: %v %v", err1, err2)
+		}
+		for j := range x1 {
+			if !almostEqual(x1[j], x2[j], 1e-6) {
+				t.Fatalf("trial %d: QR %v vs normal %v", trial, x1, x2)
+			}
+		}
+	}
+}
+
+// Property: the least-squares residual is never larger than the residual
+// of nearby perturbed candidates (local optimality check).
+func TestQuickLeastSquaresOptimal(t *testing.T) {
+	src := rng.New(99)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows, cols := 10, 3
+		a := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64() * 5
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // degenerate draw; skip
+		}
+		base := Residual(a, x, b)
+		for trial := 0; trial < 10; trial++ {
+			pert := make([]float64, cols)
+			copy(pert, x)
+			pert[src.Intn(cols)] += (src.Float64() - 0.5) * 0.1
+			if Residual(a, pert, b) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveSquare then multiply returns the original RHS.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%5)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant => well-conditioned
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64() * 3
+		}
+		b := a.MulVec(want)
+		x, err := SolveSquare(a.Clone(), b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(x[i], want[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/workload"
+)
+
+// Whole-machine invariant tests: properties that must hold for any
+// workload and any policy, checked over randomized scenarios.
+
+// scenario builds a machine from a compact random description.
+func scenario(seed uint64, smt bool, energyAware bool, throttle bool, nTasks int) *Machine {
+	layout := topology.XSeries445NoSMT()
+	if smt {
+		layout = topology.XSeries445()
+	}
+	pol := sched.BaselineConfig()
+	if energyAware {
+		pol = sched.DefaultConfig()
+	}
+	cfg := Config{
+		Layout:           layout,
+		Sched:            pol,
+		Seed:             seed,
+		PackageMaxPowerW: []float64{50},
+		ThrottleEnabled:  throttle,
+		Scope:            ThrottlePerLogical,
+	}
+	m := MustNew(cfg)
+	cat := catalog()
+	progs := []*workload.Program{
+		cat.Bitcnts(), cat.Memrw(), cat.Aluadd(), cat.Pushpop(),
+		cat.Openssl(), cat.Bzip2(), cat.Bash(), cat.Gcc(),
+	}
+	for i := 0; i < nTasks; i++ {
+		m.Spawn(progs[i%len(progs)])
+	}
+	return m
+}
+
+// No task is ever lost: runnable + sleeping task counts always equal
+// the number spawned (none of these programs finish).
+func TestQuickNoTaskLost(t *testing.T) {
+	f := func(seed uint64, rawTasks, flags uint8) bool {
+		nTasks := 1 + int(rawTasks%24)
+		m := scenario(seed, flags&1 != 0, flags&2 != 0, flags&4 != 0, nTasks)
+		for step := 0; step < 20; step++ {
+			m.Run(500)
+			if m.Sched.TotalTasks()+len(m.sleepers) != nTasks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every task is on exactly one runqueue (or asleep), and each
+// runqueue's tasks agree about their CPU field.
+func TestQuickRunqueueConsistency(t *testing.T) {
+	f := func(seed uint64, flags uint8) bool {
+		m := scenario(seed, flags&1 != 0, true, flags&2 != 0, 18)
+		m.Run(10_000)
+		seen := map[int]int{}
+		for c := 0; c < m.Cfg.Layout.NumLogical(); c++ {
+			rq := m.Sched.RQ(topology.CPUID(c))
+			var tasks []*sched.Task
+			tasks = rq.Tasks(tasks)
+			for _, tk := range tasks {
+				seen[tk.ID]++
+				if tk.CPU != topology.CPUID(c) {
+					return false
+				}
+			}
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		for _, ts := range m.sleepers {
+			if seen[ts.st.ID] != 0 {
+				return false // asleep and runnable at once
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Work conservation: with more runnable endless tasks than CPUs and no
+// throttling, no CPU accumulates idle time once balancing has settled.
+func TestWorkConservation(t *testing.T) {
+	m := scenario(5, false, true, false, 16) // 16 CPU-bound tasks, 8 CPUs
+	m.Run(20_000)
+	m.ResetStats()
+	m.Run(20_000)
+	for c := 0; c < 8; c++ {
+		if f := m.IdleFrac(topology.CPUID(c)); f > 0.01 {
+			t.Errorf("CPU %d idle %.1f%% despite surplus runnable tasks", c, f*100)
+		}
+	}
+	// Work rate equals the full machine capacity.
+	if wr := m.WorkRate(); math.Abs(wr-8) > 0.05 {
+		t.Errorf("work rate = %v, want ~8", wr)
+	}
+}
+
+// Throttling never fires when budgets exceed every program's power.
+func TestNoSpuriousThrottling(t *testing.T) {
+	cfg := Config{
+		Layout:           topology.XSeries445NoSMT(),
+		Sched:            sched.DefaultConfig(),
+		Seed:             6,
+		PackageMaxPowerW: []float64{70}, // above bitcnts' 61 W
+		ThrottleEnabled:  true,
+		Scope:            ThrottlePerLogical,
+	}
+	m := MustNew(cfg)
+	m.SpawnN(catalog().Bitcnts(), 8)
+	m.Run(120_000)
+	if f := m.AvgThrottledFrac(); f > 0 {
+		t.Fatalf("throttled %.2f%% with budgets above all powers", f*100)
+	}
+}
+
+// Energy conservation in the profiles: with perfect estimation and a
+// static solo task, the profiled power converges to the true power for
+// every catalog program, regardless of policy.
+func TestProfilesConvergeForAllPrograms(t *testing.T) {
+	cat := catalog()
+	model := mustModelPowers()
+	for _, name := range []string{"bitcnts", "memrw", "aluadd", "pushpop", "intmix", "fpmix"} {
+		prog := cat.ByName(name)
+		m := MustNew(Config{
+			Layout: topology.Layout{Nodes: 1, PackagesPerNode: 1, ThreadsPerPackage: 1},
+			Sched:  sched.BaselineConfig(),
+			Seed:   9,
+		})
+		task := m.Spawn(prog)
+		m.Run(10_000)
+		want := model[name]
+		if got := task.Profile.Watts(); math.Abs(got-want) > 1.5 {
+			t.Errorf("%s profile = %.1f W, want ~%.0f", name, got, want)
+		}
+	}
+}
+
+// mustModelPowers returns the true steady power of the static programs.
+func mustModelPowers() map[string]float64 {
+	return map[string]float64{
+		"bitcnts": 61, "memrw": 38, "aluadd": 50, "pushpop": 47,
+		"intmix": 50, "fpmix": 50,
+	}
+}
+
+// Timeslices respect nice levels: a nice -10 task (600 ms slices) gets
+// more CPU than a nice 10 task (50 ms slices) sharing a CPU... under
+// round-robin-by-slice both get one slice per round, so the ratio of
+// work approaches 600:50.
+func TestNiceLevelsShareCPU(t *testing.T) {
+	m := MustNew(Config{
+		Layout: topology.Layout{Nodes: 1, PackagesPerNode: 1, ThreadsPerPackage: 1},
+		Sched:  sched.BaselineConfig(),
+		Seed:   10,
+	})
+	fast := m.Spawn(catalog().Aluadd())
+	slow := m.Spawn(catalog().Aluadd())
+	fast.Nice = -10 // 600 ms timeslices
+	slow.Nice = 10  // 50 ms timeslices
+	m.Run(60_000)
+	wf, ws := m.TaskWorkDone(fast.ID), m.TaskWorkDone(slow.ID)
+	ratio := wf / ws
+	if ratio < 8 || ratio > 16 {
+		t.Fatalf("nice work ratio = %.1f, want ~12 (600:50)", ratio)
+	}
+	// The low-priority task still makes progress (no starvation).
+	if ws < 2000 {
+		t.Fatalf("nice 10 task starved: %v ms", ws)
+	}
+}
+
+// Blocking tasks resume on the CPU they slept on (wake affinity).
+func TestWakeAffinity(t *testing.T) {
+	m := MustNew(Config{
+		Layout: topology.XSeries445NoSMT(),
+		Sched:  sched.BaselineConfig(),
+		Seed:   11,
+	})
+	task := m.Spawn(catalog().Bash())
+	m.Run(200) // let it settle on a CPU
+	home := task.CPU
+	m.Run(30_000)
+	// bash never migrates in an otherwise empty baseline machine: all
+	// its wake-ups must have returned it to its home CPU.
+	if task.CPU != home || task.Migrations != 0 {
+		t.Fatalf("wake affinity broken: home %d, now %d, migrations %d", home, task.CPU, task.Migrations)
+	}
+}

@@ -1,0 +1,375 @@
+package machine
+
+import (
+	"energysched/internal/counters"
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/units"
+	"energysched/internal/workload"
+)
+
+// Run advances the simulation by durationMS milliseconds.
+func (m *Machine) Run(durationMS int64) {
+	end := m.nowMS + durationMS
+	for m.nowMS < end {
+		m.tick()
+		m.nowMS++
+	}
+}
+
+// tick simulates one millisecond of the whole machine.
+func (m *Machine) tick() {
+	layout := m.Cfg.Layout
+	nCPU := layout.NumLogical()
+	threads := layout.ThreadsPerPackage
+
+	// 1. Wake sleepers whose block time elapsed. Wake-up keeps CPU
+	// affinity: the task returns to the runqueue it blocked on.
+	if len(m.sleepers) > 0 {
+		kept := m.sleepers[:0]
+		for _, ts := range m.sleepers {
+			if ts.wakeAtMS <= m.nowMS {
+				ts.sleeping = false
+				m.Sched.RQ(ts.st.CPU).Enqueue(ts.st)
+				m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Wake, TaskID: ts.st.ID, CPU: int(ts.st.CPU), From: -1})
+			} else {
+				kept = append(kept, ts)
+			}
+		}
+		m.sleepers = kept
+	}
+
+	// 2. Dispatch idle CPUs.
+	for c := 0; c < nCPU; c++ {
+		rq := m.Sched.RQ(topology.CPUID(c))
+		if rq.Current == nil {
+			if t := rq.PickNext(); t != nil {
+				m.startDispatch(topology.CPUID(c), t)
+			}
+		}
+	}
+
+	// 3. Throttle decisions from the thermal-power metric (§6.2), plus
+	// — under the §7 extension — unit-temperature throttling: a core
+	// halts while any of its functional-unit hotspots exceeds the
+	// unit limit.
+	throttledTick := m.throttledCPUs()
+	if m.unitThrottles != nil {
+		for core, th := range m.unitThrottles {
+			maxT := 0.0
+			for _, n := range m.unitNodes[core] {
+				if n.TempC > maxT {
+					maxT = n.TempC
+				}
+			}
+			if th.Decide(maxT) {
+				for t := 0; t < threads; t++ {
+					throttledTick[int(layout.CPUOfCore(core, t))] = true
+				}
+			}
+		}
+	}
+	for c := 0; c < nCPU; c++ {
+		m.execSpeed[c] = 0
+		rq := m.Sched.RQ(topology.CPUID(c))
+		if rq.Current == nil {
+			continue
+		}
+		halt := throttledTick[c]
+		if halt && m.Cfg.TaskThrottling {
+			// §2.3 hot-task throttling: only tasks responsible for
+			// the overheating are halted; a cool task keeps running
+			// even while the throttle is engaged. A hot task at the
+			// head of the queue is rotated away (its slice ends) so
+			// cool queue-mates are not starved behind it; the CPU
+			// halts this tick only if the queue's head is still hot.
+			cpu := topology.CPUID(c)
+			sustainable := m.Sched.MaxPower(cpu)
+			if rq.Current.ProfiledWatts() > sustainable && len(rq.Queued()) > 0 {
+				m.endTimeslice(cpu)
+			}
+			if rq.Current != nil && rq.Current.ProfiledWatts() <= sustainable {
+				halt = false
+			}
+		}
+		if halt {
+			m.haltedTicks[c]++
+		} else {
+			m.execSpeed[c] = 1
+		}
+		if m.Cfg.Trace != nil && halt != m.prevHalt[c] {
+			kind := trace.ThrottleOff
+			if halt {
+				kind = trace.ThrottleOn
+			}
+			m.emit(trace.Event{TimeMS: m.nowMS, Kind: kind, TaskID: -1, CPU: c, From: -1})
+		}
+		m.prevHalt[c] = halt
+	}
+
+	// 4. SMT contention: a logical CPU executing alongside a busy
+	// sibling runs at the slowdown factor.
+	if threads > 1 {
+		for c := 0; c < nCPU; c++ {
+			if m.execSpeed[c] == 0 {
+				continue
+			}
+			for _, sib := range layout.Siblings(topology.CPUID(c)) {
+				if int(sib) != c && m.execSpeed[sib] > 0 {
+					m.execSpeed[c] = m.Cfg.SMTSlowdown
+					break
+				}
+			}
+		}
+	}
+
+	// 5. Execute, account energy.
+	logicalPerPkg := threads * layout.Cores()
+	idleShare := m.Model.HaltPower / float64(logicalPerPkg)
+	estIdleJ := m.Est.HaltPower / float64(logicalPerPkg) / 1000 // per ms
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		speed := m.execSpeed[c]
+		if speed == 0 {
+			// Idle or halted: sleep power only.
+			m.truePower[c] = idleShare
+			m.Sched.Power[c].AddEnergy(estIdleJ, 1)
+			if m.Sched.RQ(cpu).Current == nil {
+				m.idleTicks[c]++
+			}
+			continue
+		}
+		d := &m.dispatches[c]
+		task := d.task
+		// Cache-warmup penalty after a migration (§4.1).
+		if task.st.WarmupLeft > 0 {
+			task.st.WarmupLeft--
+			speed *= m.Cfg.Sched.WarmupSpeed
+			if speed <= 0 || speed > 1 {
+				speed = m.Cfg.Sched.WarmupSpeed
+			}
+		}
+		res := task.work.Tick(speed)
+		m.WorkDoneMS += speed
+		m.banks[c].Accumulate(res.Counts)
+		d.counts = d.counts.Add(res.Counts)
+		d.ranMS++
+		task.st.SliceLeft--
+
+		tickTrueJ := m.Model.EnergyJ(res.Counts, 0)
+		m.truePower[c] = tickTrueJ * 1000
+		if m.unitPower != nil {
+			ue := units.Split(m.Model.Weights, res.Counts)
+			core := layout.Core(cpu)
+			for u := range ue {
+				m.unitPower[core][u] += ue[u] * 1000
+			}
+		}
+		m.Sched.Power[c].AddEnergy(m.Est.EnergyJ(res.Counts, 0), 1)
+
+		switch res.Status {
+		case workload.Finished:
+			m.finishTask(cpu, task)
+		case workload.Blocked:
+			m.blockTask(cpu, task, res.BlockMS)
+		default:
+			if task.st.SliceLeft <= 0 {
+				m.endTimeslice(cpu)
+			}
+		}
+	}
+
+	// 6. Thermal model: each core integrates its own true power plus a
+	// coupling share of its chip neighbours' (§7 CMP extension; on
+	// single-core packages the coupling term vanishes and this is the
+	// paper's per-package RC model).
+	cores := layout.Cores()
+	for core := range m.nodes {
+		sum := 0.0
+		for t := 0; t < threads; t++ {
+			sum += m.truePower[int(layout.CPUOfCore(core, t))]
+		}
+		m.corePower[core] = sum
+	}
+	k := m.Cfg.CoreCoupling
+	for core := range m.nodes {
+		eff := m.corePower[core]
+		if cores > 1 {
+			pkg := core / cores
+			for cc := pkg * cores; cc < (pkg+1)*cores; cc++ {
+				if cc != core {
+					eff += k * m.corePower[cc]
+				}
+			}
+		}
+		m.nodes[core].Step(eff, 1)
+	}
+	if m.unitNodes != nil {
+		for core := range m.unitNodes {
+			ref := m.nodes[core].TempC
+			for u, n := range m.unitNodes[core] {
+				n.StepOver(m.unitPower[core][u], 1, ref)
+				m.unitPower[core][u] = 0
+			}
+		}
+	}
+
+	// 7. Periodic balancing and hot-task checks, staggered per CPU.
+	balP := int64(m.Cfg.Sched.BalancePeriodMS)
+	hotP := int64(m.Cfg.Sched.HotCheckPeriodMS)
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		if balP > 0 && (m.nowMS+int64(c)*7)%balP == 0 {
+			m.Sched.Balance(cpu)
+			m.Sched.UnitBalance(cpu)
+		} else if m.Sched.RQ(cpu).Idle() && (m.nowMS+int64(c))%10 == 0 {
+			// Idle balancing: an idle CPU tries to pull work promptly,
+			// like Linux's idle rebalance.
+			m.Sched.Balance(cpu)
+		}
+		if hotP > 0 && (m.nowMS+int64(c)*3)%hotP == 0 {
+			m.Sched.HotCheck(cpu)
+		}
+	}
+
+	// 8. Metric sampling.
+	if p := m.Cfg.MonitorPeriodMS; p > 0 && m.nowMS%int64(p) == 0 {
+		for c := 0; c < nCPU; c++ {
+			m.tpSeries[c].Append(m.Sched.Power[c].ThermalPower())
+		}
+		for core := range m.nodes {
+			m.tempSeries[core].Append(m.nodes[core].TempC)
+		}
+	}
+}
+
+// throttledCPUs evaluates the throttle for this tick and returns, per
+// logical CPU, whether it must halt. The returned slice is a scratch
+// buffer reused across ticks.
+func (m *Machine) throttledCPUs() []bool {
+	nCPU := m.Cfg.Layout.NumLogical()
+	if m.throttleScratch == nil {
+		m.throttleScratch = make([]bool, nCPU)
+	}
+	out := m.throttleScratch
+	for i := range out {
+		out[i] = false
+	}
+	if m.throttles == nil {
+		return out
+	}
+	switch m.Cfg.Scope {
+	case ThrottlePerLogical:
+		for c := 0; c < nCPU; c++ {
+			out[c] = m.throttles[c].Decide(m.Sched.Power[c].ThermalPower())
+		}
+	case ThrottlePerCore:
+		layout := m.Cfg.Layout
+		for core := range m.throttles {
+			sum := 0.0
+			for t := 0; t < layout.ThreadsPerPackage; t++ {
+				sum += m.Sched.Power[int(layout.CPUOfCore(core, t))].ThermalPower()
+			}
+			h := m.throttles[core].Decide(sum)
+			for t := 0; t < layout.ThreadsPerPackage; t++ {
+				out[int(layout.CPUOfCore(core, t))] = h
+			}
+		}
+	case ThrottlePerPackage:
+		layout := m.Cfg.Layout
+		for p := range m.throttles {
+			sum := 0.0
+			for _, cpu := range layout.PackageCPUs(p) {
+				sum += m.Sched.Power[int(cpu)].ThermalPower()
+			}
+			h := m.throttles[p].Decide(sum)
+			for _, cpu := range layout.PackageCPUs(p) {
+				out[int(cpu)] = h
+			}
+		}
+	}
+	return out
+}
+
+// startDispatch begins a task's occupancy of a CPU: fresh timeslice,
+// fresh accounting.
+func (m *Machine) startDispatch(cpu topology.CPUID, t *sched.Task) {
+	ts := m.tasks[t.ID]
+	d := &m.dispatches[int(cpu)]
+	d.task = ts
+	d.counts = counters.Counts{}
+	d.ranMS = 0
+	t.SliceLeft = t.Timeslice()
+	m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Dispatch, TaskID: t.ID, CPU: int(cpu), From: -1})
+}
+
+// finalizeDispatch ends the accounting of the task occupying cpu: the
+// estimator converts the accumulated counter delta into energy (Eq. 1),
+// which updates the task's energy profile over the actual period the
+// task ran (§3.3). The first completed slice of a task is recorded in
+// the placement table (§4.6).
+func (m *Machine) finalizeDispatch(cpu topology.CPUID) {
+	d := &m.dispatches[int(cpu)]
+	if d.task == nil || d.ranMS <= 0 {
+		d.task = nil
+		return
+	}
+	energyJ := m.Est.EnergyJ(d.counts, 0)
+	d.task.st.Profile.AddSample(energyJ, d.ranMS)
+	if d.task.st.Units != nil {
+		d.task.st.Units.AddSample(units.Split(m.Est.Weights, d.counts), d.ranMS)
+	}
+	if !d.task.firstSliceDone {
+		d.task.firstSliceDone = true
+		m.Sched.RecordFirstSlice(d.task.st, energyJ/(d.ranMS/1000))
+	}
+	d.task = nil
+	d.counts = counters.Counts{}
+	d.ranMS = 0
+}
+
+// endTimeslice rotates the running task to the tail of its queue.
+func (m *Machine) endTimeslice(cpu topology.CPUID) {
+	if cur := m.Sched.RQ(cpu).Current; cur != nil {
+		m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.SliceEnd, TaskID: cur.ID, CPU: int(cpu), From: -1})
+	}
+	m.finalizeDispatch(cpu)
+	rq := m.Sched.RQ(cpu)
+	rq.Deschedule(true)
+	if t := rq.PickNext(); t != nil {
+		m.startDispatch(cpu, t)
+	}
+}
+
+// blockTask moves the running task to the sleep list.
+func (m *Machine) blockTask(cpu topology.CPUID, ts *taskState, blockMS float64) {
+	m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Block, TaskID: ts.st.ID, CPU: int(cpu), From: -1})
+	m.finalizeDispatch(cpu)
+	rq := m.Sched.RQ(cpu)
+	rq.Deschedule(false)
+	ts.sleeping = true
+	ts.wakeAtMS = m.nowMS + int64(blockMS)
+	m.sleepers = append(m.sleepers, ts)
+	if t := rq.PickNext(); t != nil {
+		m.startDispatch(cpu, t)
+	}
+}
+
+// finishTask retires a completed task and, if configured, respawns a
+// fresh instance of its program to keep the offered load constant.
+func (m *Machine) finishTask(cpu topology.CPUID, ts *taskState) {
+	m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Finish, TaskID: ts.st.ID, CPU: int(cpu), From: -1, Detail: ts.prog.Name})
+	m.finalizeDispatch(cpu)
+	rq := m.Sched.RQ(cpu)
+	rq.Deschedule(false)
+	delete(m.tasks, ts.st.ID)
+	m.Completions++
+	m.CompletionsByProg[ts.prog.Name]++
+	if t := rq.PickNext(); t != nil {
+		m.startDispatch(cpu, t)
+	}
+	if m.Cfg.RespawnFinished {
+		m.Spawn(ts.prog)
+	}
+}

@@ -1,0 +1,499 @@
+// Package machine is the whole-system simulator: it binds the CPU
+// topology, the synthetic workloads, the event counters, the energy
+// estimator, the thermal model, the throttling mechanism, and the
+// (energy-aware) scheduler into a deterministic tick-driven simulation
+// of the paper's evaluation machine.
+//
+// One tick is one millisecond of simulated time. Per tick the machine
+//
+//  1. wakes sleeping tasks whose block time elapsed,
+//  2. dispatches tasks on idle CPUs,
+//  3. decides throttling from each CPU's thermal power (§6.2),
+//  4. executes the running tasks (SMT siblings contend for the core;
+//     freshly migrated tasks pay a cache-warmup penalty),
+//  5. accounts energy — estimated energy feeds the thermal-power
+//     metric and the task profiles; true energy drives the RC thermal
+//     model of each package,
+//  6. handles timeslice expiry, blocking, and completion,
+//  7. periodically runs the balancer and the hot-task-migration check.
+package machine
+
+import (
+	"fmt"
+
+	"energysched/internal/counters"
+	"energysched/internal/energy"
+	"energysched/internal/profile"
+	"energysched/internal/rng"
+	"energysched/internal/sched"
+	"energysched/internal/stats"
+	"energysched/internal/thermal"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/units"
+	"energysched/internal/workload"
+)
+
+// ThrottleScope selects the granularity of the throttling mechanism.
+type ThrottleScope int
+
+const (
+	// ThrottlePerLogical throttles each logical CPU against its own
+	// share of the core budget, as in the §6.2 temperature-control
+	// experiments (Table 3 reports per-logical percentages that differ
+	// between SMT siblings).
+	ThrottlePerLogical ThrottleScope = iota
+	// ThrottlePerPackage throttles all logical CPUs of a package when
+	// the package's summed thermal power exceeds the package budget,
+	// as in the §6.4 experiments ("we allowed each physical processor
+	// to consume 40 W at most").
+	ThrottlePerPackage
+	// ThrottlePerCore throttles the logical CPUs of one core when the
+	// core's summed thermal power exceeds the core budget — the
+	// natural granularity for a §7 chip multiprocessor, where each
+	// core is a heat source of its own.
+	ThrottlePerCore
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	// Layout is the CPU topology.
+	Layout topology.Layout
+	// Sched selects the scheduling policy.
+	Sched sched.Config
+	// Seed drives all randomness.
+	Seed uint64
+
+	// PackageProps holds the thermal properties of each physical
+	// package; length must equal Layout.NumPackages(). Heterogeneous
+	// properties are the point of the paper: "the balancing policy
+	// moves hot tasks to the processors with better thermal
+	// properties" (§6.2).
+	PackageProps []thermal.Properties
+
+	// PackageMaxPowerW is the sustained power budget per package used
+	// for the §4.3 ratios and for throttling. If nil and LimitTempC is
+	// set, budgets are derived per package from the thermal properties
+	// (budget = power whose steady temperature equals the limit). A
+	// budget of 0 disables the ratio/throttle machinery for that
+	// package.
+	PackageMaxPowerW []float64
+	// LimitTempC derives per-package budgets from a temperature limit.
+	LimitTempC float64
+
+	// ThrottleEnabled engages the hlt throttle; without it the machine
+	// only observes thermal power (as in §6.1).
+	ThrottleEnabled bool
+	// Scope selects per-logical or per-package throttling.
+	Scope ThrottleScope
+	// TaskThrottling switches to the §2.3 alternative policy of Rohou
+	// & Smith [24]: when a throttle engages, only *hot* tasks — those
+	// whose energy profile exceeds the CPU's sustainable power — are
+	// halted; cool tasks of the same runqueue keep running. The paper
+	// argues migration beats this on multiprocessors; the
+	// policy-comparison experiment quantifies that.
+	TaskThrottling bool
+
+	// Estimator is the kernel-side energy estimator; nil uses the
+	// ground-truth weights (perfect estimation).
+	Estimator *energy.Estimator
+
+	// SMTSlowdown is the speed factor of a logical CPU whose sibling
+	// is executing in the same tick (both threads share one core's
+	// functional units). 0 selects the default 0.62, giving an SMT
+	// speedup of 1.24 for two threads.
+	SMTSlowdown float64
+
+	// CoreCoupling is the fraction of a neighbouring core's power that
+	// leaks into a core's local thermal node on a multi-core package
+	// (§7: "having multiple cores on the same chip leads to greater
+	// thermal stress, since the heat is dissipated within a smaller
+	// area"). 0 selects the default 0.35. Irrelevant for single-core
+	// packages.
+	CoreCoupling float64
+
+	// UnitThermal enables the §7 multiple-temperature extension:
+	// per-functional-unit hotspot nodes on every core, per-task unit
+	// profiles, and — when ThrottleEnabled — throttling on unit
+	// temperature (a core halts when any of its units exceeds
+	// UnitLimitC).
+	UnitThermal bool
+	// UnitLimitC is the functional-unit temperature limit.
+	UnitLimitC float64
+	// UnitR and UnitTauS are the hotspot thermal resistance (K/W above
+	// the core) and time constant; 0 selects the defaults 0.3 K/W and
+	// 2 s.
+	UnitR    float64
+	UnitTauS float64
+
+	// RespawnFinished restarts a finished task's program as a fresh
+	// instance (throughput experiments keep the task count constant).
+	RespawnFinished bool
+
+	// MonitorPeriodMS is the sampling interval of the metric series
+	// (thermal power, temperature, task CPU). 0 disables sampling.
+	MonitorPeriodMS int
+
+	// Trace, when non-nil, records scheduler-level events (dispatches,
+	// blocks, migrations, throttle transitions) for offline analysis.
+	Trace *trace.Recorder
+}
+
+// DefaultPackageProps returns n identical packages with the reference
+// thermal properties: R = 0.2 K/W, τ = 15 s, 25 °C ambient. A 60 W
+// budget then corresponds to a 37 °C steady temperature.
+func DefaultPackageProps(n int) []thermal.Properties {
+	props := make([]thermal.Properties, n)
+	for i := range props {
+		props[i] = thermal.Properties{R: 0.2, C: 75, AmbientC: 25}
+	}
+	return props
+}
+
+// taskState couples the scheduler's and the workload's view of a task.
+type taskState struct {
+	st   *sched.Task
+	work *workload.Task
+	prog *workload.Program
+	// firstSliceDone is set once the first timeslice has been recorded
+	// in the placement table (§4.6).
+	firstSliceDone bool
+	// wakeAtMS is the tick at which a blocked task becomes runnable.
+	wakeAtMS int64
+	sleeping bool
+}
+
+// dispatch tracks the counter/energy accounting of the task currently
+// occupying a CPU.
+type dispatch struct {
+	task   *taskState
+	counts counters.Counts
+	ranMS  float64
+}
+
+// MigrationEvent records one task migration for the evaluation traces
+// (Fig. 9) and the §6.1 migration counts.
+type MigrationEvent struct {
+	TimeMS int64
+	TaskID int
+	From   topology.CPUID
+	To     topology.CPUID
+	Reason sched.MigrationReason
+}
+
+// Machine is the simulated multiprocessor system.
+type Machine struct {
+	Cfg   Config
+	Topo  *topology.Topology
+	Model *energy.TrueModel
+	Est   *energy.Estimator
+	Sched *sched.Scheduler
+
+	nowMS       int64
+	statsBaseMS int64
+	nextID      int
+	rng         *rng.Source
+
+	banks      []counters.Bank     // per logical CPU
+	dispatches []dispatch          // per logical CPU
+	nodes      []*thermal.Node     // per physical core
+	throttles  []*thermal.Throttle // per logical, core, or package (see Scope)
+	pkgBudget  []float64           // per package
+	coreBudget []float64           // per core (pkgBudget split across cores)
+
+	// §7 unit extension state (nil unless Cfg.UnitThermal).
+	unitNodes     [][]*thermal.Node   // per core × unit hotspot nodes
+	unitThrottles []*thermal.Throttle // per core, on unit temperature
+	unitPower     [][]float64         // per core × unit, this tick (W)
+
+	tasks    map[int]*taskState
+	sleepers []*taskState
+
+	prevHalt []bool // per logical CPU: halted last tick (trace edges)
+
+	// scratch buffers reused every tick
+	execSpeed       []float64
+	truePower       []float64
+	corePower       []float64 // per-core raw power this tick
+	throttleScratch []bool
+
+	// Metrics.
+	Completions       int64
+	CompletionsByProg map[string]int64
+	// WorkDoneMS accumulates executed work (speed-weighted CPU
+	// milliseconds) — a low-variance throughput proxy: in steady state
+	// the work rate is proportional to the completion rate.
+	WorkDoneMS  float64
+	Migrations  []MigrationEvent
+	tpSeries    []*stats.Series // thermal power per logical CPU
+	tempSeries  []*stats.Series // temperature per package
+	idleTicks   []int64         // per logical CPU
+	haltedTicks []int64         // per logical CPU: ticks a runnable CPU was halted
+}
+
+// New builds a machine. The workload is added afterwards with Spawn.
+func New(cfg Config) (*Machine, error) {
+	topo, err := topology.New(cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	nPkg := cfg.Layout.NumPackages()
+	nCPU := cfg.Layout.NumLogical()
+	if len(cfg.PackageProps) == 0 {
+		cfg.PackageProps = DefaultPackageProps(nPkg)
+	}
+	if len(cfg.PackageProps) != nPkg {
+		return nil, fmt.Errorf("machine: %d package properties for %d packages", len(cfg.PackageProps), nPkg)
+	}
+	for i, p := range cfg.PackageProps {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("machine: package %d: %w", i, err)
+		}
+	}
+	if cfg.SMTSlowdown == 0 {
+		cfg.SMTSlowdown = 0.62
+	}
+	if cfg.SMTSlowdown < 0 || cfg.SMTSlowdown > 1 {
+		return nil, fmt.Errorf("machine: SMTSlowdown %v out of range", cfg.SMTSlowdown)
+	}
+	if cfg.CoreCoupling == 0 {
+		cfg.CoreCoupling = 0.35
+	}
+	if cfg.CoreCoupling < 0 || cfg.CoreCoupling > 1 {
+		return nil, fmt.Errorf("machine: CoreCoupling %v out of range", cfg.CoreCoupling)
+	}
+	if cfg.UnitThermal {
+		if cfg.UnitR == 0 {
+			cfg.UnitR = 0.3
+		}
+		if cfg.UnitTauS == 0 {
+			cfg.UnitTauS = 2
+		}
+		if cfg.UnitR < 0 || cfg.UnitTauS <= 0 {
+			return nil, fmt.Errorf("machine: invalid unit thermal parameters R=%v tau=%v", cfg.UnitR, cfg.UnitTauS)
+		}
+	}
+
+	model := energy.DefaultTrueModel()
+	est := cfg.Estimator
+	if est == nil {
+		est = energy.PerfectEstimator(model)
+	}
+
+	// Package power budgets.
+	budget := make([]float64, nPkg)
+	switch {
+	case len(cfg.PackageMaxPowerW) == nPkg:
+		copy(budget, cfg.PackageMaxPowerW)
+	case len(cfg.PackageMaxPowerW) == 1:
+		for i := range budget {
+			budget[i] = cfg.PackageMaxPowerW[0]
+		}
+	case len(cfg.PackageMaxPowerW) == 0 && cfg.LimitTempC > 0:
+		for i := range budget {
+			budget[i] = cfg.PackageProps[i].PowerForTemp(cfg.LimitTempC)
+		}
+	case len(cfg.PackageMaxPowerW) == 0:
+		// no budgets: ratios disabled
+	default:
+		return nil, fmt.Errorf("machine: %d budgets for %d packages", len(cfg.PackageMaxPowerW), nPkg)
+	}
+
+	nCore := cfg.Layout.NumCores()
+	cores := cfg.Layout.Cores()
+	m := &Machine{
+		Cfg:               cfg,
+		Topo:              topo,
+		Model:             model,
+		Est:               est,
+		Sched:             sched.New(topo, cfg.Sched, profile.NewPlacementTable(45)),
+		rng:               rng.New(cfg.Seed),
+		banks:             make([]counters.Bank, nCPU),
+		dispatches:        make([]dispatch, nCPU),
+		nodes:             make([]*thermal.Node, nCore),
+		pkgBudget:         budget,
+		coreBudget:        make([]float64, nCore),
+		tasks:             make(map[int]*taskState),
+		execSpeed:         make([]float64, nCPU),
+		truePower:         make([]float64, nCPU),
+		corePower:         make([]float64, nCore),
+		CompletionsByProg: make(map[string]int64),
+		idleTicks:         make([]int64, nCPU),
+		haltedTicks:       make([]int64, nCPU),
+		prevHalt:          make([]bool, nCPU),
+	}
+
+	// Per-core thermal nodes. A core owns 1/cores of the package heat
+	// sink (R scaled up, C scaled down, time constant preserved) and,
+	// through CoreCoupling, feels a fraction of its chip neighbours'
+	// power. For single-core packages this is exactly the paper's
+	// per-package model.
+	threads := cfg.Layout.ThreadsPerPackage
+	logicalPerPkg := cores * threads
+	idleShare := model.HaltPower / float64(logicalPerPkg)
+	coupling := 1 + cfg.CoreCoupling*float64(cores-1)
+	for c := 0; c < nCore; c++ {
+		pkg := c / cores
+		props := cfg.PackageProps[pkg]
+		props.R *= float64(cores)
+		props.C /= float64(cores)
+		m.nodes[c] = thermal.NewNode(props)
+		// The sustainable per-core power with every chip core equally
+		// busy: the core temperature under uniform load P is
+		// T = T_amb + R_core·P·(1 + k(cores−1)), so holding the
+		// package-budget temperature requires
+		// budget_core = pkgBudget / (cores · coupling). Single-core
+		// packages get exactly the package budget.
+		m.coreBudget[c] = budget[pkg] / float64(cores) / coupling
+	}
+
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		core := cfg.Layout.Core(cpu)
+		pkg := cfg.Layout.Package(cpu)
+		w := thermal.ThermalPowerWeight(cfg.PackageProps[pkg], 1)
+		maxLogical := m.coreBudget[core] / float64(threads)
+		m.Sched.Power[c] = profile.NewCPUPower(maxLogical, w, 1, idleShare)
+	}
+
+	// Throttles.
+	if cfg.ThrottleEnabled {
+		switch cfg.Scope {
+		case ThrottlePerLogical:
+			m.throttles = make([]*thermal.Throttle, nCPU)
+			for c := 0; c < nCPU; c++ {
+				core := cfg.Layout.Core(topology.CPUID(c))
+				m.throttles[c] = &thermal.Throttle{LimitW: m.coreBudget[core] / float64(threads)}
+			}
+		case ThrottlePerCore:
+			m.throttles = make([]*thermal.Throttle, nCore)
+			for c := 0; c < nCore; c++ {
+				m.throttles[c] = &thermal.Throttle{LimitW: m.coreBudget[c]}
+			}
+		case ThrottlePerPackage:
+			m.throttles = make([]*thermal.Throttle, nPkg)
+			for p := 0; p < nPkg; p++ {
+				m.throttles[p] = &thermal.Throttle{LimitW: budget[p]}
+			}
+		default:
+			return nil, fmt.Errorf("machine: unknown throttle scope %d", cfg.Scope)
+		}
+	}
+
+	// Metric series.
+	if cfg.MonitorPeriodMS > 0 {
+		step := float64(cfg.MonitorPeriodMS) / 1000
+		m.tpSeries = make([]*stats.Series, nCPU)
+		for c := 0; c < nCPU; c++ {
+			m.tpSeries[c] = stats.NewSeries(fmt.Sprintf("cpu%d.thermal_power", c), step)
+		}
+		m.tempSeries = make([]*stats.Series, nCore)
+		for c := 0; c < nCore; c++ {
+			m.tempSeries[c] = stats.NewSeries(fmt.Sprintf("core%d.temp", c), step)
+		}
+	}
+
+	// §7 unit extension: hotspot nodes riding on each core's
+	// temperature, plus per-core unit-temperature throttles.
+	if cfg.UnitThermal {
+		m.unitNodes = make([][]*thermal.Node, nCore)
+		m.unitPower = make([][]float64, nCore)
+		uprops := thermal.Properties{R: cfg.UnitR, C: cfg.UnitTauS / cfg.UnitR}
+		for c := 0; c < nCore; c++ {
+			m.unitNodes[c] = make([]*thermal.Node, units.NumUnits)
+			m.unitPower[c] = make([]float64, units.NumUnits)
+			for u := range m.unitNodes[c] {
+				n := thermal.NewNode(uprops)
+				n.TempC = m.nodes[c].TempC
+				m.unitNodes[c][u] = n
+			}
+		}
+		if cfg.ThrottleEnabled && cfg.UnitLimitC > 0 {
+			m.unitThrottles = make([]*thermal.Throttle, nCore)
+			for c := 0; c < nCore; c++ {
+				m.unitThrottles[c] = &thermal.Throttle{LimitW: cfg.UnitLimitC}
+			}
+		}
+	}
+
+	// Scheduler hooks: finalize energy accounting when the balancer or
+	// hot-task migration moves a *running* task, and trace migrations.
+	m.Sched.Hooks.BeforeMigrate = func(t *sched.Task, from, to topology.CPUID) {
+		if m.Sched.RQ(from).Current == t {
+			m.finalizeDispatch(from)
+		}
+	}
+	m.Sched.Hooks.AfterMigrate = func(t *sched.Task, from, to topology.CPUID, reason sched.MigrationReason) {
+		m.Migrations = append(m.Migrations, MigrationEvent{
+			TimeMS: m.nowMS, TaskID: t.ID, From: from, To: to, Reason: reason,
+		})
+		m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Migrate, TaskID: t.ID,
+			CPU: int(to), From: int(from), Detail: reason.String()})
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NowMS returns the simulated time in milliseconds.
+func (m *Machine) NowMS() int64 { return m.nowMS }
+
+// Spawn starts a new instance of a program, places it (§4.6), and
+// returns its scheduler task.
+func (m *Machine) Spawn(prog *workload.Program) *sched.Task {
+	id := m.nextID
+	m.nextID++
+	st := &sched.Task{ID: id, Binary: prog.Binary}
+	if m.Cfg.UnitThermal {
+		st.Units = units.NewProfile()
+	}
+	ts := &taskState{
+		st:   st,
+		work: workload.NewTask(id, prog, m.rng.Split()),
+		prog: prog,
+	}
+	m.tasks[id] = ts
+	cpu := m.Sched.PlaceNewTask(st)
+	m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Spawn, TaskID: id, CPU: int(cpu), From: -1, Detail: prog.Name})
+	return st
+}
+
+// emit records a trace event when tracing is enabled.
+func (m *Machine) emit(ev trace.Event) {
+	if m.Cfg.Trace != nil {
+		m.Cfg.Trace.Add(ev)
+	}
+}
+
+// SpawnN starts n instances of a program.
+func (m *Machine) SpawnN(prog *workload.Program, n int) {
+	for i := 0; i < n; i++ {
+		m.Spawn(prog)
+	}
+}
+
+// TaskCPU returns the CPU a live task currently belongs to, or -1.
+func (m *Machine) TaskCPU(id int) topology.CPUID {
+	if ts, ok := m.tasks[id]; ok {
+		return ts.st.CPU
+	}
+	return -1
+}
+
+// TaskWorkDone returns the executed milliseconds (at full speed) a live
+// task has accumulated, or -1 if the task finished or never existed.
+// Differences across a measurement window give per-task progress rates,
+// the fairness metric of the policy-comparison experiment.
+func (m *Machine) TaskWorkDone(id int) float64 {
+	if ts, ok := m.tasks[id]; ok {
+		return ts.work.DoneWork()
+	}
+	return -1
+}

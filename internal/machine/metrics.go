@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"energysched/internal/sched"
+	"energysched/internal/stats"
+	"energysched/internal/topology"
+	"energysched/internal/units"
+)
+
+// ThrottledFrac returns the fraction of time a logical CPU spent halted
+// by the throttle while it had work to run — Table 3's "CPU throttling
+// percentage".
+func (m *Machine) ThrottledFrac(cpu topology.CPUID) float64 {
+	dur := m.nowMS - m.statsBaseMS
+	if dur <= 0 {
+		return 0
+	}
+	return float64(m.haltedTicks[int(cpu)]) / float64(dur)
+}
+
+// AvgThrottledFrac returns the machine-wide average throttling fraction
+// over logical CPUs (the "average" row of Table 3).
+func (m *Machine) AvgThrottledFrac() float64 {
+	n := m.Cfg.Layout.NumLogical()
+	sum := 0.0
+	for c := 0; c < n; c++ {
+		sum += m.ThrottledFrac(topology.CPUID(c))
+	}
+	return sum / float64(n)
+}
+
+// IdleFrac returns the fraction of ticks a CPU had nothing to run.
+func (m *Machine) IdleFrac(cpu topology.CPUID) float64 {
+	dur := m.nowMS - m.statsBaseMS
+	if dur <= 0 {
+		return 0
+	}
+	return float64(m.idleTicks[int(cpu)]) / float64(dur)
+}
+
+// ThermalPowerSeries returns the sampled thermal-power series of a
+// logical CPU (the curves of Figs. 6 and 7), or nil when monitoring is
+// disabled.
+func (m *Machine) ThermalPowerSeries(cpu topology.CPUID) *stats.Series {
+	if m.tpSeries == nil {
+		return nil
+	}
+	return m.tpSeries[int(cpu)]
+}
+
+// TempSeries returns the sampled junction-temperature series of a
+// core (on the paper's single-core packages, of a package), or nil when
+// monitoring is disabled.
+func (m *Machine) TempSeries(core int) *stats.Series {
+	if m.tempSeries == nil {
+		return nil
+	}
+	return m.tempSeries[core]
+}
+
+// CoreTemp returns the current junction temperature of a core's local
+// thermal node.
+func (m *Machine) CoreTemp(core int) float64 { return m.nodes[core].TempC }
+
+// PackageTemp returns the hottest core temperature of a package (equal
+// to the package temperature on single-core packages).
+func (m *Machine) PackageTemp(pkg int) float64 {
+	cores := m.Cfg.Layout.Cores()
+	max := m.nodes[pkg*cores].TempC
+	for c := pkg*cores + 1; c < (pkg+1)*cores; c++ {
+		if m.nodes[c].TempC > max {
+			max = m.nodes[c].TempC
+		}
+	}
+	return max
+}
+
+// UnitTemp returns the temperature of one functional-unit hotspot on a
+// core (§7 extension), or the core temperature when unit tracking is
+// off.
+func (m *Machine) UnitTemp(core int, u units.Kind) float64 {
+	if m.unitNodes == nil {
+		return m.nodes[core].TempC
+	}
+	return m.unitNodes[core][int(u)].TempC
+}
+
+// MaxUnitTemp returns the hottest functional-unit temperature on the
+// machine.
+func (m *Machine) MaxUnitTemp() float64 {
+	max := 0.0
+	for core := range m.nodes {
+		for u := units.Kind(0); u < units.NumUnits; u++ {
+			if t := m.UnitTemp(core, u); t > max {
+				max = t
+			}
+		}
+	}
+	return max
+}
+
+// PackageBudget returns the max-power budget of a package (0 when
+// ratios/throttling are disabled).
+func (m *Machine) PackageBudget(pkg int) float64 { return m.pkgBudget[pkg] }
+
+// MigrationCount returns the total number of task migrations so far.
+func (m *Machine) MigrationCount() int64 { return m.Sched.MigrationCount }
+
+// MigrationCountByReason returns the migrations attributed to one
+// policy.
+func (m *Machine) MigrationCountByReason(r sched.MigrationReason) int64 {
+	return m.Sched.MigrationsByReason[int(r)]
+}
+
+// ResetStats clears throughput, migration, throttle, and idle
+// accounting — typically called after a warm-up phase so steady-state
+// measurements are not polluted by the initial transient.
+func (m *Machine) ResetStats() {
+	m.Completions = 0
+	m.WorkDoneMS = 0
+	m.CompletionsByProg = make(map[string]int64)
+	m.Migrations = m.Migrations[:0]
+	m.Sched.MigrationCount = 0
+	m.Sched.MigrationsByReason = [4]int64{}
+	for i := range m.idleTicks {
+		m.idleTicks[i] = 0
+		m.haltedTicks[i] = 0
+	}
+	for _, t := range m.throttles {
+		t.Reset()
+	}
+	for _, t := range m.unitThrottles {
+		t.Reset()
+	}
+	// nowMS keeps advancing; IdleFrac uses a separate base.
+	m.statsBaseMS = m.nowMS
+}
+
+// Throughput returns completed tasks per simulated second since the
+// last ResetStats (or the start).
+func (m *Machine) Throughput() float64 {
+	dur := m.nowMS - m.statsBaseMS
+	if dur <= 0 {
+		return 0
+	}
+	return float64(m.Completions) / (float64(dur) / 1000)
+}
+
+// WorkRate returns executed work per wall millisecond since the last
+// ResetStats: the speed-weighted fraction of CPU capacity in use, in
+// units of "full CPUs".
+func (m *Machine) WorkRate() float64 {
+	dur := m.nowMS - m.statsBaseMS
+	if dur <= 0 {
+		return 0
+	}
+	return m.WorkDoneMS / float64(dur)
+}

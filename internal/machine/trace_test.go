@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/workload"
+)
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	rec := trace.New(0)
+	cfg := base()
+	cfg.Trace = rec
+	cfg.RespawnFinished = false
+	m := MustNew(cfg)
+	task := m.Spawn(workload.WithWork(catalog().Aluadd(), 500))
+	m.Spawn(catalog().Bash()) // blocks and wakes
+	m.Run(5000)
+
+	counts := rec.CountByKind()
+	for _, kind := range []string{"spawn", "dispatch", "finish", "block", "wake", "slice_end"} {
+		if counts[kind] == 0 {
+			t.Errorf("no %s events recorded: %v", kind, counts)
+		}
+	}
+	// The finite task's own trail: spawn → dispatch(s) → finish.
+	evs := rec.TaskEvents(task.ID)
+	if len(evs) < 3 {
+		t.Fatalf("task trail too short: %+v", evs)
+	}
+	if evs[0].Kind != trace.Spawn || evs[len(evs)-1].Kind != trace.Finish {
+		t.Fatalf("trail endpoints wrong: first %v last %v", evs[0].Kind, evs[len(evs)-1].Kind)
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeMS < evs[i-1].TimeMS {
+			t.Fatal("trace not in time order")
+		}
+	}
+}
+
+func TestTraceRecordsMigrationsAndThrottle(t *testing.T) {
+	rec := trace.New(0)
+	cfg := Config{
+		Layout:           topology.XSeries445(),
+		Sched:            sched.DefaultConfig(),
+		Seed:             7,
+		PackageMaxPowerW: []float64{40},
+		ThrottleEnabled:  true,
+		Scope:            ThrottlePerPackage,
+		Trace:            rec,
+	}
+	m := MustNew(cfg)
+	m.Spawn(catalog().Bitcnts())
+	m.Run(60_000)
+	counts := rec.CountByKind()
+	if counts["migrate"] == 0 {
+		t.Fatalf("no migrations traced: %v", counts)
+	}
+	// Migration events carry source, destination, and reason.
+	for _, ev := range rec.Events() {
+		if ev.Kind != trace.Migrate {
+			continue
+		}
+		if ev.From < 0 || ev.CPU < 0 || ev.Detail != "hot" {
+			t.Fatalf("malformed migrate event: %+v", ev)
+		}
+	}
+	// CSV export round-trips the headline columns.
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ",migrate,") {
+		t.Fatal("CSV missing migrate rows")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := MustNew(base())
+	m.Spawn(catalog().Bitcnts())
+	m.Run(1000) // must not panic without a recorder
+}

@@ -1,0 +1,28 @@
+package profile
+
+import "testing"
+
+func BenchmarkExpAvgUpdate(b *testing.B) {
+	a := NewExpAvg(0.5, 100)
+	a.Seed(40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Update(float64(40+i%20), 100)
+	}
+}
+
+func BenchmarkTaskProfileSample(b *testing.B) {
+	p := NewTaskProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.AddSample(5.0, 100)
+	}
+}
+
+func BenchmarkCPUPowerAddEnergy(b *testing.B) {
+	c := NewCPUPower(60, 0.0001, 1, 13.6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddEnergy(0.05, 1)
+	}
+}

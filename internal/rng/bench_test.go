@@ -1,0 +1,17 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.NormFloat64()
+	}
+}

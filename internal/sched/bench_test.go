@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"testing"
+
+	"energysched/internal/topology"
+)
+
+// BenchmarkBalance measures one full balancer pass over a loaded 8-way
+// machine.
+func BenchmarkBalance(b *testing.B) {
+	s := newSched(topology.XSeries445NoSMT(), DefaultConfig())
+	watts := []float64{61, 38, 50, 47, 55, 42, 61, 38}
+	id := 0
+	for c := 0; c < 8; c++ {
+		for k := 0; k < 3; k++ {
+			s.RQ(topology.CPUID(c)).Enqueue(mkTask(id, watts[(c+k)%8]))
+			id++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Balance(topology.CPUID(i % 8))
+	}
+}
+
+func BenchmarkHotCheck(b *testing.B) {
+	s := newSched(topology.XSeries445NoSMT(), DefaultConfig())
+	s.RQ(0).Enqueue(mkTask(1, 61))
+	s.RQ(0).PickNext()
+	setTP(s, 0, 59.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HotCheck(1) // not armed: measures the common fast path
+	}
+}
+
+func BenchmarkPlaceNewTask(b *testing.B) {
+	s := newSched(topology.XSeries445NoSMT(), DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := mkTask(i, 50)
+		cpu := s.PlaceNewTask(t)
+		s.RQ(cpu).RemoveQueued(t) // keep the machine empty
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"math"
+
+	"energysched/internal/topology"
+)
+
+// HotTrigger reports whether cpu's physical core has (nearly) reached
+// its power budget, arming hot task migration. Following §4.7, the
+// trigger works at the granularity of the hardware that overheats —
+// "since not logical but only physical processors can overheat, we only
+// migrate a hot task actively … if the sum of the thermal powers of all
+// logical CPUs belonging to a physical processor is greater than the
+// allowed maximum power for that processor". On the paper's machine a
+// core is the whole package; on a §7 CMP each core is a heat source of
+// its own. For non-SMT layouts this degenerates to the §4.5 wording.
+func (s *Scheduler) HotTrigger(cpu topology.CPUID) bool {
+	var tp, maxP float64
+	for _, c := range s.Topo.Layout.Siblings(cpu) {
+		tp += s.ThermalPower(c)
+		maxP += s.MaxPower(c)
+	}
+	if maxP >= 1e18 {
+		return false // no power budget installed
+	}
+	return tp >= maxP-s.Cfg.HotTriggerMarginW
+}
+
+// HotCheck runs the §4.5 hot task migration algorithm (Fig. 5) for cpu.
+// It returns true if a migration (or exchange) was performed.
+//
+// The policy applies only when the runqueue holds a single task —
+// otherwise energy balancing is responsible. The scheduler traverses
+// the domain hierarchy bottom-up, skipping SMT-sibling domains
+// (migrating to a sibling cannot cool the core, §4.7), looking for the
+// coolest core in each domain. On a CMP the "mc" level is searched
+// first: another core of the same chip is the cheapest destination that
+// still moves heat (§7). A destination must be cooler than the source
+// by the configured gap; it is used if it has an idle CPU, or one
+// running a single distinctly cooler task, which is then exchanged to
+// preserve load balance. If the top-level domain yields no destination,
+// all CPUs are hot and the task stays (the CPU will be throttled).
+func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
+	if !s.Cfg.HotTaskMigration {
+		return false
+	}
+	rq := s.RQ(cpu)
+	if rq.Current == nil || rq.Len() != 1 {
+		return false
+	}
+	if !s.HotTrigger(cpu) {
+		return false
+	}
+	task := rq.Current
+	myCoreTP := s.CoreThermalSum(cpu)
+
+	for _, dom := range s.Topo.DomainsFor(cpu) {
+		if dom.Flags&topology.FlagShareCPUPower != 0 {
+			continue // never migrate within the own core
+		}
+		// "Search coolest CPU within domain": heat lives in physical
+		// cores, so coolness is the core's summed thermal power — a
+		// logical CPU that idled next to a busy sibling is NOT a cool
+		// destination. The source core is excluded (its siblings share
+		// the overheating silicon, §4.7).
+		destCore := -1
+		destTP := math.Inf(1)
+		myCore := s.Topo.Layout.Core(cpu)
+		for _, c := range dom.Span {
+			core := s.Topo.Layout.Core(c)
+			if core == myCore || core == destCore {
+				continue
+			}
+			if tp := s.CoreThermalSum(c); tp < destTP {
+				destCore, destTP = core, tp
+			}
+		}
+		if destCore < 0 {
+			continue
+		}
+		// "CPU cool enough?" — must be considerably cooler to limit
+		// the migration frequency.
+		if destTP > myCoreTP-s.Cfg.HotDestGapW {
+			continue // ascend one level
+		}
+		// Within the coolest core: "CPU idle?" → migrate there.
+		var idle, exch topology.CPUID = -1, -1
+		for _, c := range s.Topo.Layout.Siblings(s.Topo.Layout.CPUOfCore(destCore, 0)) {
+			dstRQ := s.RQ(c)
+			if dstRQ.Idle() && idle < 0 {
+				idle = c
+			}
+			// "CPU running cool task?" → candidate for an exchange.
+			if dstRQ.Len() == 1 && dstRQ.Current != nil && exch < 0 &&
+				dstRQ.Current.ProfiledWatts() < task.ProfiledWatts()-s.Cfg.ExchangeGapW {
+				exch = c
+			}
+		}
+		if idle >= 0 {
+			s.Migrate(task, idle, MigrateHot)
+			return true
+		}
+		if exch >= 0 {
+			peer := s.RQ(exch).Current
+			s.Migrate(task, exch, MigrateHot)
+			s.Migrate(peer, cpu, MigrateHot)
+			return true
+		}
+		// Neither idle nor running a cool task → ascend.
+	}
+	return false
+}
+
+// CoreThermalSum returns the summed thermal power of all logical CPUs
+// on cpu's physical core — the quantity that corresponds to the core's
+// temperature (§4.7; per-core on a §7 CMP).
+func (s *Scheduler) CoreThermalSum(cpu topology.CPUID) float64 {
+	sum := 0.0
+	for _, c := range s.Topo.Layout.Siblings(cpu) {
+		sum += s.ThermalPower(c)
+	}
+	return sum
+}
+
+// PackageThermalSum returns the summed thermal power of all logical
+// CPUs on cpu's physical package (all cores).
+func (s *Scheduler) PackageThermalSum(cpu topology.CPUID) float64 {
+	sum := 0.0
+	for _, c := range s.Topo.Layout.PackageCPUs(s.Topo.Layout.Package(cpu)) {
+		sum += s.ThermalPower(c)
+	}
+	return sum
+}

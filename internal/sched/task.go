@@ -1,0 +1,79 @@
+// Package sched implements the multiprocessor scheduler substrate — per-
+// CPU runqueues, timeslices, affinity, and hierarchical load balancing in
+// the style of the Linux 2.6 O(1) scheduler the paper modifies (§4.1,
+// §5) — together with the paper's energy-aware policy layered on top:
+//
+//   - the merged energy + load balancing algorithm of §4.4 (Fig. 4),
+//   - hot task migration of §4.5 (Fig. 5),
+//   - energy-aware initial task placement of §4.6,
+//   - the SMT adaptations of §4.7.
+//
+// The scheduler is a passive data structure driven by the machine
+// simulator: the machine calls into it at timer ticks, task switches,
+// and balancing intervals, and performs energy accounting through hooks
+// when the scheduler moves a running task.
+package sched
+
+import (
+	"energysched/internal/profile"
+	"energysched/internal/topology"
+	"energysched/internal/units"
+)
+
+// Nice bounds, as in Linux.
+const (
+	MinNice = -20
+	MaxNice = 19
+)
+
+// Task is the scheduler's view of a runnable entity — the analogue of
+// the fields the paper adds to Linux's task_struct (§5): the energy
+// profile plus ordinary scheduling state.
+type Task struct {
+	// ID uniquely identifies the task.
+	ID int
+	// Binary is the inode number of the task's binary, the key into
+	// the §4.6 placement table.
+	Binary uint64
+	// Nice is the Unix niceness, determining timeslice length.
+	Nice int
+	// Profile is the task's energy profile (§3.3).
+	Profile *profile.TaskProfile
+	// Units is the per-functional-unit energy profile of the §7
+	// multiple-temperature extension; nil when unit tracking is off.
+	Units *units.Profile
+
+	// SliceLeft is the remaining time of the current timeslice in ms.
+	SliceLeft float64
+	// CPU is the runqueue the task currently belongs to.
+	CPU topology.CPUID
+	// WarmupLeft is the remaining cache-warmup time (ms) after a
+	// migration, during which the task runs below full speed (§4.1:
+	// migrations break processor affinity).
+	WarmupLeft float64
+
+	// Migrations counts how often the task was migrated, and
+	// NodeMigrations how many of those crossed a NUMA node boundary.
+	Migrations     int
+	NodeMigrations int
+}
+
+// Timeslice returns the task's full timeslice in milliseconds, using
+// the Linux 2.6 static-priority formula: nice 0 → 100 ms, nice −20 →
+// 800 ms, nice 19 → 5 ms.
+func (t *Task) Timeslice() float64 {
+	staticPrio := 120 + t.Nice
+	if staticPrio < 120 {
+		return float64(140-staticPrio) * 20
+	}
+	return float64(140-staticPrio) * 5
+}
+
+// ProfiledWatts returns the task's profiled power, or 0 if the profile
+// is unprimed.
+func (t *Task) ProfiledWatts() float64 {
+	if t.Profile == nil || !t.Profile.Primed() {
+		return 0
+	}
+	return t.Profile.Watts()
+}

@@ -1,0 +1,165 @@
+// Package textplot renders time series as ASCII line charts so the
+// espower CLI can show the paper's figures directly in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"energysched/internal/stats"
+)
+
+// Options control chart rendering.
+type Options struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width, Height int
+	// YMin and YMax fix the value axis; if both are zero the range is
+	// derived from the data with a small margin.
+	YMin, YMax float64
+	// HLine draws a horizontal marker (e.g. the 50 W limit line of
+	// Figs. 6/7); NaN disables it.
+	HLine float64
+	// Title is printed above the chart.
+	Title string
+	// YUnit labels the axis ticks.
+	YUnit string
+}
+
+// DefaultOptions returns a terminal-friendly 72×20 chart.
+func DefaultOptions() Options {
+	return Options{Width: 72, Height: 20, HLine: math.NaN()}
+}
+
+// seriesGlyphs distinguish multiple series on one chart.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '1', '2', '3', '4', '5', '6', '7', '8'}
+
+// Plot renders one or more series into a single chart. Series are
+// resampled onto the chart width; later series overdraw earlier ones
+// where they collide.
+func Plot(series []*stats.Series, opt Options) string {
+	if opt.Width <= 0 || opt.Height <= 0 {
+		opt.Width, opt.Height = 72, 20
+	}
+	var usable []*stats.Series
+	for _, s := range series {
+		if s != nil && s.Len() > 0 {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return "(no data)\n"
+	}
+
+	ymin, ymax := opt.YMin, opt.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range usable {
+			ymin = math.Min(ymin, s.Min())
+			ymax = math.Max(ymax, s.Max())
+		}
+		if !math.IsNaN(opt.HLine) {
+			ymin = math.Min(ymin, opt.HLine)
+			ymax = math.Max(ymax, opt.HLine)
+		}
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = 1
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	// Horizontal marker first so data overdraws it.
+	if !math.IsNaN(opt.HLine) {
+		if r := rowFor(opt.HLine, ymin, ymax, opt.Height); r >= 0 {
+			for c := 0; c < opt.Width; c++ {
+				grid[r][c] = '-'
+			}
+		}
+	}
+	maxT := 0.0
+	for _, s := range usable {
+		if t := s.Time(s.Len() - 1); t > maxT {
+			maxT = t
+		}
+	}
+	for si, s := range usable {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for c := 0; c < opt.Width; c++ {
+			// Nearest sample for this column.
+			idx := int(float64(c) / float64(opt.Width-1) * float64(s.Len()-1))
+			if r := rowFor(s.At(idx), ymin, ymax, opt.Height); r >= 0 {
+				grid[r][c] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r := 0; r < opt.Height; r++ {
+		val := ymax - (ymax-ymin)*float64(r)/float64(opt.Height-1)
+		fmt.Fprintf(&b, "%8.1f%s |%s\n", val, opt.YUnit, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%10s  0%*.0fs\n", "", opt.Width-2, maxT)
+	if len(usable) > 1 {
+		fmt.Fprintf(&b, "legend:")
+		for si, s := range usable {
+			fmt.Fprintf(&b, " %c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// rowFor maps a value to a grid row, or -1 when out of range.
+func rowFor(v, ymin, ymax float64, height int) int {
+	if v < ymin || v > ymax {
+		return -1
+	}
+	frac := (v - ymin) / (ymax - ymin)
+	r := int(math.Round(float64(height-1) * (1 - frac)))
+	if r < 0 || r >= height {
+		return -1
+	}
+	return r
+}
+
+// Bars renders a labeled horizontal bar chart for figure sweeps
+// (Figs. 8 and 10).
+func Bars(labels []string, values []float64, unit string, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+		fmt.Fprintf(&b, "%-*s %+7.1f%s |%s\n", labelW, labels[i], v, unit, strings.Repeat("█", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energysched/internal/stats"
+)
+
+func ramp(name string, n int) *stats.Series {
+	s := stats.NewSeries(name, 1)
+	for i := 0; i < n; i++ {
+		s.Append(float64(i))
+	}
+	return s
+}
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot([]*stats.Series{ramp("a", 100)}, DefaultOptions())
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data glyphs in plot")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if got := Plot(nil, DefaultOptions()); got != "(no data)\n" {
+		t.Fatalf("empty plot = %q", got)
+	}
+	if got := Plot([]*stats.Series{stats.NewSeries("e", 1)}, DefaultOptions()); got != "(no data)\n" {
+		t.Fatalf("empty series plot = %q", got)
+	}
+}
+
+func TestPlotMultipleSeriesLegend(t *testing.T) {
+	a, b := ramp("alpha", 50), ramp("beta", 50)
+	out := Plot([]*stats.Series{a, b}, DefaultOptions())
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestPlotHLine(t *testing.T) {
+	opt := DefaultOptions()
+	opt.HLine = 50
+	s := stats.NewSeries("flat", 1)
+	for i := 0; i < 10; i++ {
+		s.Append(10)
+	}
+	out := Plot([]*stats.Series{s}, opt)
+	if !strings.Contains(out, "---") {
+		t.Fatal("HLine not drawn")
+	}
+}
+
+func TestPlotTitleAndUnits(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Title = "Thermal power"
+	opt.YUnit = "W"
+	out := Plot([]*stats.Series{ramp("x", 10)}, opt)
+	if !strings.HasPrefix(out, "Thermal power\n") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "W |") {
+		t.Fatal("unit missing")
+	}
+}
+
+func TestPlotFixedRangeClips(t *testing.T) {
+	opt := DefaultOptions()
+	opt.YMin, opt.YMax = 0, 5
+	out := Plot([]*stats.Series{ramp("x", 100)}, opt) // values up to 99 clip
+	if strings.Count(out, "*") == 0 {
+		t.Fatal("in-range values missing")
+	}
+}
+
+func TestRowFor(t *testing.T) {
+	if rowFor(0, 0, 10, 11) != 10 {
+		t.Error("min should map to bottom row")
+	}
+	if rowFor(10, 0, 10, 11) != 0 {
+		t.Error("max should map to top row")
+	}
+	if rowFor(-1, 0, 10, 11) != -1 || rowFor(11, 0, 10, 11) != -1 {
+		t.Error("out-of-range should be -1")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{10, -5}, "%", 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "+10.0%") || !strings.Contains(lines[1], "-5.0%") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	// Bar lengths proportional: a gets full width, bb half.
+	if strings.Count(lines[0], "█") != 20 || strings.Count(lines[1], "█") != 10 {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+}
+
+func TestBarsZero(t *testing.T) {
+	out := Bars([]string{"z"}, []float64{0}, "", 10)
+	if !strings.Contains(out, "+0.0") {
+		t.Fatalf("zero bar output: %q", out)
+	}
+}
+
+func TestPlotNaNHLineIgnored(t *testing.T) {
+	opt := DefaultOptions()
+	opt.HLine = math.NaN()
+	out := Plot([]*stats.Series{ramp("x", 5)}, opt)
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}

@@ -1,0 +1,37 @@
+package thermal
+
+import "testing"
+
+func BenchmarkNodeStep(b *testing.B) {
+	n := NewNode(Properties{R: 0.2, C: 75, AmbientC: 25})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Step(55, 1)
+	}
+}
+
+func BenchmarkThrottleDecide(b *testing.B) {
+	t := Throttle{LimitW: 50}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Decide(float64(45 + i%10))
+	}
+}
+
+func BenchmarkCalibrate(b *testing.B) {
+	p := Properties{R: 0.2, C: 75, AmbientC: 25}
+	n := NewNode(p)
+	var samples []float64
+	for s := 0; s < 90; s++ {
+		samples = append(samples, n.TempC)
+		for ms := 0; ms < 1000; ms++ {
+			n.Step(61, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Calibrate(samples, 1, 61, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func props() Properties {
+	return Properties{R: 0.2, C: 75, AmbientC: 25} // τ = 15 s
+}
+
+func TestValidate(t *testing.T) {
+	if err := props().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Properties{{R: 0, C: 1}, {R: 1, C: 0}, {R: -1, C: 1}} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", p)
+		}
+	}
+}
+
+func TestSteadyStateRelations(t *testing.T) {
+	p := props()
+	if got := p.SteadyTemp(60); math.Abs(got-37) > 1e-12 {
+		t.Fatalf("SteadyTemp(60) = %v, want 37", got)
+	}
+	// PowerForTemp inverts SteadyTemp.
+	for _, w := range []float64{10, 40, 61} {
+		if got := p.PowerForTemp(p.SteadyTemp(w)); math.Abs(got-w) > 1e-9 {
+			t.Fatalf("PowerForTemp∘SteadyTemp(%v) = %v", w, got)
+		}
+	}
+	if got := p.TimeConstant(); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("TimeConstant = %v, want 15", got)
+	}
+}
+
+func TestNodeStartsAtAmbient(t *testing.T) {
+	n := NewNode(props())
+	if n.TempC != 25 {
+		t.Fatalf("initial temp = %v", n.TempC)
+	}
+}
+
+func TestNodeConvergesToSteadyState(t *testing.T) {
+	n := NewNode(props())
+	for i := 0; i < 120000; i++ { // 120 s ≫ τ
+		n.Step(60, 1)
+	}
+	if math.Abs(n.TempC-37) > 0.01 {
+		t.Fatalf("temp after 8τ = %v, want ~37", n.TempC)
+	}
+}
+
+func TestNodeExponentialRise(t *testing.T) {
+	// After exactly one time constant the rise is 1 − 1/e of the total.
+	n := NewNode(props())
+	tau := props().TimeConstant()
+	for i := 0; i < int(tau*1000); i++ {
+		n.Step(50, 1)
+	}
+	wantRise := (1 - 1/math.E) * 0.2 * 50
+	if math.Abs((n.TempC-25)-wantRise) > 0.05 {
+		t.Fatalf("rise after τ = %v, want %v", n.TempC-25, wantRise)
+	}
+}
+
+func TestNodeCoolsWhenPowerDrops(t *testing.T) {
+	n := NewNode(props())
+	for i := 0; i < 60000; i++ {
+		n.Step(60, 1)
+	}
+	hot := n.TempC
+	for i := 0; i < 150000; i++ { // 10τ: fully settled
+		n.Step(13.6, 1)
+	}
+	if n.TempC >= hot {
+		t.Fatal("node did not cool after power drop")
+	}
+	if math.Abs(n.TempC-props().SteadyTemp(13.6)) > 0.05 {
+		t.Fatalf("cooled temp = %v, want %v", n.TempC, props().SteadyTemp(13.6))
+	}
+}
+
+func TestStepSizeInvariance(t *testing.T) {
+	// The closed-form update must give the same trajectory for 1 ms and
+	// 100 ms steps.
+	a, b := NewNode(props()), NewNode(props())
+	for i := 0; i < 10000; i++ {
+		a.Step(45, 1)
+	}
+	for i := 0; i < 100; i++ {
+		b.Step(45, 100)
+	}
+	if math.Abs(a.TempC-b.TempC) > 1e-9 {
+		t.Fatalf("step-size dependence: %v vs %v", a.TempC, b.TempC)
+	}
+}
+
+func TestDiodeQuantizes(t *testing.T) {
+	n := NewNode(props())
+	n.TempC = 37.8
+	d := DefaultDiode()
+	if got := d.Read(n); got != 37 {
+		t.Fatalf("diode read = %v, want 37", got)
+	}
+	exact := Diode{ResolutionC: 0}
+	if got := exact.Read(n); got != 37.8 {
+		t.Fatalf("exact read = %v", got)
+	}
+}
+
+func TestThermalPowerWeight(t *testing.T) {
+	p := props()
+	w := ThermalPowerWeight(p, 1)
+	// For a 1 ms update and τ = 15 s the weight is tiny but positive.
+	if w <= 0 || w > 0.001 {
+		t.Fatalf("weight = %v", w)
+	}
+	// Longer update period → larger weight; 5τ → weight ≈ 1.
+	if w2 := ThermalPowerWeight(p, 75000); w2 < 0.99 {
+		t.Fatalf("weight for 5τ = %v", w2)
+	}
+	// Composition property: two 1 ms updates ≡ one 2 ms update.
+	w1 := ThermalPowerWeight(p, 1)
+	w2 := ThermalPowerWeight(p, 2)
+	if math.Abs((1-w1)*(1-w1)-(1-w2)) > 1e-12 {
+		t.Fatal("weights do not compose exponentially")
+	}
+}
+
+func TestThrottleEngagesAndReleases(t *testing.T) {
+	th := Throttle{LimitW: 50}
+	if th.Decide(49) {
+		t.Fatal("throttled below limit")
+	}
+	if !th.Decide(50) {
+		t.Fatal("did not throttle at limit")
+	}
+	// Just below the limit but within hysteresis: stays engaged.
+	if !th.Decide(50 - Hysteresis/2) {
+		t.Fatal("released within hysteresis band")
+	}
+	if th.Decide(49) {
+		t.Fatal("did not release below hysteresis band")
+	}
+	if got := th.ThrottledFrac(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ThrottledFrac = %v, want 0.5", got)
+	}
+}
+
+func TestThrottleDisabled(t *testing.T) {
+	th := Throttle{LimitW: 0}
+	for i := 0; i < 10; i++ {
+		if th.Decide(1000) {
+			t.Fatal("disabled throttle engaged")
+		}
+	}
+	if th.ThrottledFrac() != 0 {
+		t.Fatal("disabled throttle accumulated halted ticks")
+	}
+}
+
+func TestThrottleReset(t *testing.T) {
+	th := Throttle{LimitW: 10}
+	th.Decide(20)
+	th.Reset()
+	if th.ThrottledFrac() != 0 || th.TotalTicks != 0 {
+		t.Fatal("Reset did not clear accounting")
+	}
+	if th.LimitW != 10 {
+		t.Fatal("Reset cleared the limit")
+	}
+}
+
+func TestThrottleFracEmpty(t *testing.T) {
+	th := Throttle{LimitW: 10}
+	if th.ThrottledFrac() != 0 {
+		t.Fatal("empty throttle frac should be 0")
+	}
+}
+
+// §4.2: "We did this by starting a task producing a maximum of heat on a
+// processor formerly idle, recording the temperature values over time
+// and fitting an exponential function to the experimental data."
+func TestCalibrateRecoversProperties(t *testing.T) {
+	p := props()
+	n := NewNode(p)
+	d := DefaultDiode()
+	const power = 61.0
+	var samples []float64
+	const stepS = 1.0
+	for s := 0; s < 90; s++ { // 90 s = 6τ → effectively steady
+		// Correct the diode's floor quantization by half a step, as a
+		// careful experimenter would (E[floor(x)] ≈ x − 0.5).
+		samples = append(samples, d.Read(n)+d.ResolutionC/2)
+		for ms := 0; ms < 1000; ms++ {
+			n.Step(power, 1)
+		}
+	}
+	res, err := Calibrate(samples, stepS, power, p.AmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.R-p.R)/p.R > 0.10 {
+		t.Errorf("recovered R = %v, want %v ±10%%", res.R, p.R)
+	}
+	if math.Abs(res.TimeConstant-p.TimeConstant())/p.TimeConstant() > 0.15 {
+		t.Errorf("recovered τ = %v, want %v ±15%%", res.TimeConstant, p.TimeConstant())
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate([]float64{25, 26}, 1, 60, 25); err == nil {
+		t.Error("too few samples should error")
+	}
+	if _, err := Calibrate([]float64{25, 26, 27, 28, 29, 30}, 1, 0, 25); err == nil {
+		t.Error("zero power should error")
+	}
+	if _, err := Calibrate([]float64{25, 25, 25, 25, 25}, 1, 60, 25); err == nil {
+		t.Error("flat trace should error")
+	}
+}
+
+// Property: temperature always stays between ambient and the steady
+// temperature of the largest applied power.
+func TestQuickTemperatureBounded(t *testing.T) {
+	p := props()
+	f := func(powers []uint8) bool {
+		n := NewNode(p)
+		maxSteady := p.AmbientC
+		for _, raw := range powers {
+			w := float64(raw % 100)
+			if s := p.SteadyTemp(w); s > maxSteady {
+				maxSteady = s
+			}
+			n.Step(w, 50)
+			if n.TempC < p.AmbientC-1e-9 || n.TempC > maxSteady+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with constant power the trajectory is monotone toward the
+// steady state.
+func TestQuickMonotoneApproach(t *testing.T) {
+	p := props()
+	f := func(raw uint8, startRaw uint8) bool {
+		w := float64(raw % 90)
+		n := NewNode(p)
+		n.TempC = p.AmbientC + float64(startRaw%30)
+		steady := p.SteadyTemp(w)
+		prevDist := math.Abs(n.TempC - steady)
+		for i := 0; i < 100; i++ {
+			n.Step(w, 100)
+			dist := math.Abs(n.TempC - steady)
+			if dist > prevDist+1e-9 {
+				return false
+			}
+			prevDist = dist
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepOverTracksReference(t *testing.T) {
+	unit := Node{Props: Properties{R: 0.3, C: 10.0 / 3, AmbientC: 0}, TempC: 35} // τ = 1 s
+	// 30 W above a 35 °C core: steady 44 °C.
+	for i := 0; i < 10000; i++ {
+		unit.StepOver(30, 1, 35)
+	}
+	if math.Abs(unit.TempC-44) > 0.01 {
+		t.Fatalf("unit temp = %v, want 44", unit.TempC)
+	}
+	// Reference moves: unit follows.
+	for i := 0; i < 10000; i++ {
+		unit.StepOver(30, 1, 40)
+	}
+	if math.Abs(unit.TempC-49) > 0.01 {
+		t.Fatalf("unit temp after reference move = %v, want 49", unit.TempC)
+	}
+}

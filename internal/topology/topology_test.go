@@ -1,0 +1,395 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXSeries445Shape(t *testing.T) {
+	l := XSeries445()
+	if got := l.NumLogical(); got != 16 {
+		t.Fatalf("NumLogical = %d, want 16", got)
+	}
+	if got := l.NumPackages(); got != 8 {
+		t.Fatalf("NumPackages = %d, want 8", got)
+	}
+}
+
+// The paper, §6.4: "The CPU IDs of two sibling CPUs differ in the most
+// significant bit. Thus, CPU 0 is the sibling of CPU 8, CPU 1 is the
+// sibling of CPU 9, and so forth." And: "CPUs 0 to 3 (with their siblings
+// 8 to 11) reside on node 0, whereas CPUs 4 to 7 (with their siblings 12
+// to 15) reside on node 1."
+func TestPaperCPUNumbering(t *testing.T) {
+	l := XSeries445()
+	for p := 0; p < 8; p++ {
+		sib := l.Siblings(CPUID(p))
+		if len(sib) != 2 || sib[0] != CPUID(p) || sib[1] != CPUID(p+8) {
+			t.Errorf("Siblings(%d) = %v, want [%d %d]", p, sib, p, p+8)
+		}
+	}
+	for _, tc := range []struct {
+		cpu  CPUID
+		node int
+	}{{0, 0}, {3, 0}, {8, 0}, {11, 0}, {4, 1}, {7, 1}, {12, 1}, {15, 1}} {
+		if got := l.Node(tc.cpu); got != tc.node {
+			t.Errorf("Node(%d) = %d, want %d", tc.cpu, got, tc.node)
+		}
+	}
+}
+
+func TestNoSMTLayout(t *testing.T) {
+	l := XSeries445NoSMT()
+	if got := l.NumLogical(); got != 8 {
+		t.Fatalf("NumLogical = %d, want 8", got)
+	}
+	if sib := l.Siblings(3); len(sib) != 1 || sib[0] != 3 {
+		t.Fatalf("Siblings(3) = %v, want [3]", sib)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Layout{
+		{Nodes: 0, PackagesPerNode: 1, ThreadsPerPackage: 1},
+		{Nodes: 1, PackagesPerNode: 0, ThreadsPerPackage: 1},
+		{Nodes: 1, PackagesPerNode: 1, ThreadsPerPackage: 0},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", l)
+		}
+		if _, err := New(l); err == nil {
+			t.Errorf("New(%+v) = nil error, want error", l)
+		}
+	}
+}
+
+// Fig. 1: a 2-node, 4-package, 2-thread machine has a three-level domain
+// hierarchy: smt (physical level), node, top.
+func TestDomainHierarchyThreeLevels(t *testing.T) {
+	top := MustNew(XSeries445())
+	chain := top.DomainsFor(0)
+	if len(chain) != 3 {
+		t.Fatalf("chain length = %d, want 3", len(chain))
+	}
+	if chain[0].Name != "smt" || chain[1].Name != "node" || chain[2].Name != "top" {
+		t.Fatalf("chain names = %s/%s/%s", chain[0].Name, chain[1].Name, chain[2].Name)
+	}
+	if chain[0].Flags&FlagShareCPUPower == 0 {
+		t.Error("smt domain missing FlagShareCPUPower")
+	}
+	if chain[2].Flags&FlagCrossNode == 0 {
+		t.Error("top domain missing FlagCrossNode")
+	}
+	if chain[0].Parent != chain[1] || chain[1].Parent != chain[2] || chain[2].Parent != nil {
+		t.Error("parent links wrong")
+	}
+}
+
+func TestSMTDomainGroups(t *testing.T) {
+	top := MustNew(XSeries445())
+	smt := top.DomainsFor(3)[0]
+	if len(smt.Span) != 2 || smt.Span[0] != 3 || smt.Span[1] != 11 {
+		t.Fatalf("smt span = %v, want [3 11]", smt.Span)
+	}
+	if len(smt.Groups) != 2 {
+		t.Fatalf("smt groups = %v", smt.Groups)
+	}
+	if smt.GroupOf(3) == smt.GroupOf(11) {
+		t.Error("siblings share a group in smt domain")
+	}
+}
+
+func TestNodeDomainGroupsArePackages(t *testing.T) {
+	top := MustNew(XSeries445())
+	node := top.DomainsFor(0)[1]
+	if len(node.Groups) != 4 {
+		t.Fatalf("node domain has %d groups, want 4", len(node.Groups))
+	}
+	if len(node.Span) != 8 {
+		t.Fatalf("node domain spans %d CPUs, want 8", len(node.Span))
+	}
+	// CPU 0's group in the node domain must be exactly its package {0, 8}.
+	g := node.Groups[node.GroupOf(0)]
+	if len(g) != 2 || g[0] != 0 || g[1] != 8 {
+		t.Fatalf("package group = %v, want [0 8]", g)
+	}
+}
+
+func TestTopDomainGroupsAreNodes(t *testing.T) {
+	top := MustNew(XSeries445())
+	d := top.DomainsFor(0)[2]
+	if len(d.Groups) != 2 {
+		t.Fatalf("top domain has %d groups, want 2", len(d.Groups))
+	}
+	if len(d.Span) != 16 {
+		t.Fatalf("top domain spans %d CPUs, want 16", len(d.Span))
+	}
+	if d.GroupOf(0) == d.GroupOf(4) {
+		t.Error("CPUs on different nodes share a top-level group")
+	}
+}
+
+func TestNoSMTHierarchyTwoLevels(t *testing.T) {
+	top := MustNew(XSeries445NoSMT())
+	chain := top.DomainsFor(0)
+	if len(chain) != 2 {
+		t.Fatalf("chain length = %d, want 2", len(chain))
+	}
+	if chain[0].Name != "node" || chain[1].Name != "top" {
+		t.Fatalf("chain = %s/%s", chain[0].Name, chain[1].Name)
+	}
+}
+
+func TestSingleNodeNoTopDomain(t *testing.T) {
+	top := MustNew(Layout{Nodes: 1, PackagesPerNode: 4, ThreadsPerPackage: 2})
+	chain := top.DomainsFor(0)
+	if len(chain) != 2 {
+		t.Fatalf("chain length = %d, want 2 (smt, node)", len(chain))
+	}
+	if chain[1].Parent != nil {
+		t.Error("single-node hierarchy has a dangling parent")
+	}
+}
+
+func TestUniprocessor(t *testing.T) {
+	top := MustNew(Layout{Nodes: 1, PackagesPerNode: 1, ThreadsPerPackage: 1})
+	chain := top.DomainsFor(0)
+	if len(chain) != 1 {
+		t.Fatalf("chain length = %d, want 1", len(chain))
+	}
+	if len(chain[0].Groups) != 1 {
+		t.Fatalf("groups = %v", chain[0].Groups)
+	}
+}
+
+func TestContainsAndGroupOf(t *testing.T) {
+	top := MustNew(XSeries445())
+	node0 := top.DomainsFor(0)[1]
+	if !node0.Contains(8) {
+		t.Error("node 0 domain should contain CPU 8")
+	}
+	if node0.Contains(4) {
+		t.Error("node 0 domain should not contain CPU 4")
+	}
+	if node0.GroupOf(4) != -1 {
+		t.Error("GroupOf CPU outside span should be -1")
+	}
+}
+
+// Property: for arbitrary small layouts, every CPU appears in every level
+// of its own chain, each domain's groups exactly partition its span, and
+// chains are monotonically increasing in span size.
+func TestQuickDomainInvariants(t *testing.T) {
+	f := func(n, p, th uint8) bool {
+		l := Layout{
+			Nodes:             1 + int(n%3),
+			PackagesPerNode:   1 + int(p%4),
+			ThreadsPerPackage: 1 + int(th%3),
+		}
+		top, err := New(l)
+		if err != nil {
+			return false
+		}
+		for _, cpu := range top.AllCPUs() {
+			chain := top.DomainsFor(cpu)
+			if len(chain) == 0 {
+				return false
+			}
+			prevSpan := 0
+			for _, d := range chain {
+				if !d.Contains(cpu) {
+					return false
+				}
+				if d.GroupOf(cpu) < 0 {
+					return false
+				}
+				if len(d.Span) <= prevSpan {
+					return false
+				}
+				prevSpan = len(d.Span)
+				// Groups partition the span.
+				seen := map[CPUID]int{}
+				for _, g := range d.Groups {
+					for _, c := range g {
+						seen[c]++
+					}
+				}
+				if len(seen) != len(d.Span) {
+					return false
+				}
+				for _, c := range d.Span {
+					if seen[c] != 1 {
+						return false
+					}
+				}
+			}
+			// Top of chain spans the whole machine.
+			if len(chain[len(chain)-1].Span) != l.NumLogical() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: package/thread/node decomposition round-trips through
+// CPUOfPackage.
+func TestQuickNumberingRoundTrip(t *testing.T) {
+	f := func(n, p, th uint8) bool {
+		l := Layout{
+			Nodes:             1 + int(n%4),
+			PackagesPerNode:   1 + int(p%4),
+			ThreadsPerPackage: 1 + int(th%4),
+		}
+		for c := 0; c < l.NumLogical(); c++ {
+			cpu := CPUID(c)
+			if l.CPUOfPackage(l.Package(cpu), l.Thread(cpu)) != cpu {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- §7 CMP extension ----
+
+func TestCMPLayoutShape(t *testing.T) {
+	l := CMP2x2()
+	if l.NumPackages() != 2 || l.NumCores() != 4 || l.NumLogical() != 4 {
+		t.Fatalf("CMP2x2: pkgs=%d cores=%d logical=%d", l.NumPackages(), l.NumCores(), l.NumLogical())
+	}
+	// Cores 0,1 on package 0; cores 2,3 on package 1.
+	for _, tc := range []struct {
+		cpu       CPUID
+		core, pkg int
+	}{
+		{0, 0, 0}, {1, 1, 0}, {2, 2, 1}, {3, 3, 1},
+	} {
+		if l.Core(tc.cpu) != tc.core || l.Package(tc.cpu) != tc.pkg {
+			t.Errorf("cpu %d: core=%d pkg=%d", tc.cpu, l.Core(tc.cpu), l.Package(tc.cpu))
+		}
+	}
+	if !l.SamePackage(0, 1) || l.SamePackage(1, 2) {
+		t.Error("SamePackage wrong for CMP")
+	}
+	if l.SameCore(0, 1) || !l.SameCore(2, 2) {
+		t.Error("SameCore wrong for CMP")
+	}
+}
+
+func TestCMPWithSMTNumbering(t *testing.T) {
+	// 1 node × 2 packages × 2 cores × 2 threads = 8 logical CPUs.
+	l := Layout{Nodes: 1, PackagesPerNode: 2, CoresPerPackage: 2, ThreadsPerPackage: 2}
+	if l.NumLogical() != 8 {
+		t.Fatalf("logical = %d", l.NumLogical())
+	}
+	// SMT siblings differ in the MSB: cpu c and c+4 share core c.
+	for c := CPUID(0); c < 4; c++ {
+		sib := l.Siblings(c)
+		if len(sib) != 2 || sib[0] != c || sib[1] != c+4 {
+			t.Errorf("Siblings(%d) = %v", c, sib)
+		}
+	}
+	// PackageCPUs covers both cores and both threads.
+	p0 := l.PackageCPUs(0)
+	if len(p0) != 4 {
+		t.Fatalf("PackageCPUs(0) = %v", p0)
+	}
+	seen := map[CPUID]bool{}
+	for _, c := range p0 {
+		seen[c] = true
+	}
+	for _, want := range []CPUID{0, 4, 1, 5} {
+		if !seen[want] {
+			t.Errorf("PackageCPUs(0) missing %d: %v", want, p0)
+		}
+	}
+}
+
+func TestCMPDomainHierarchy(t *testing.T) {
+	// SMT + CMP + NUMA: four levels.
+	l := Layout{Nodes: 2, PackagesPerNode: 2, CoresPerPackage: 2, ThreadsPerPackage: 2}
+	top := MustNew(l)
+	chain := top.DomainsFor(0)
+	names := make([]string, len(chain))
+	for i, d := range chain {
+		names[i] = d.Name
+	}
+	want := []string{"smt", "mc", "node", "top"}
+	if len(names) != 4 {
+		t.Fatalf("chain = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", names, want)
+		}
+	}
+	mc := chain[1]
+	if mc.Flags&FlagSameChip == 0 {
+		t.Error("mc domain missing FlagSameChip")
+	}
+	if mc.Flags&FlagShareCPUPower != 0 {
+		t.Error("mc domain must NOT carry FlagShareCPUPower (energy balancing runs there)")
+	}
+	if len(mc.Groups) != 2 {
+		t.Errorf("mc groups = %d, want 2 (cores)", len(mc.Groups))
+	}
+}
+
+func TestCMPNoSMTHierarchy(t *testing.T) {
+	top := MustNew(CMP2x2())
+	chain := top.DomainsFor(0)
+	if len(chain) != 2 || chain[0].Name != "mc" || chain[1].Name != "node" {
+		names := make([]string, len(chain))
+		for i, d := range chain {
+			names[i] = d.Name
+		}
+		t.Fatalf("chain = %v, want [mc node]", names)
+	}
+}
+
+func TestQuickCMPNumberingRoundTrip(t *testing.T) {
+	f := func(n, p, co, th uint8) bool {
+		l := Layout{
+			Nodes:             1 + int(n%3),
+			PackagesPerNode:   1 + int(p%3),
+			CoresPerPackage:   1 + int(co%3),
+			ThreadsPerPackage: 1 + int(th%3),
+		}
+		for c := 0; c < l.NumLogical(); c++ {
+			cpu := CPUID(c)
+			if l.CPUOfCore(l.Core(cpu), l.Thread(cpu)) != cpu {
+				return false
+			}
+			if l.Core(cpu)/l.Cores() != l.Package(cpu) {
+				return false
+			}
+		}
+		// PackageCPUs partition all logical CPUs.
+		seen := map[CPUID]int{}
+		for p := 0; p < l.NumPackages(); p++ {
+			for _, c := range l.PackageCPUs(p) {
+				seen[c]++
+			}
+		}
+		if len(seen) != l.NumLogical() {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package trace records scheduler-level events of a simulation run —
+// dispatches, timeslice ends, blocks and wake-ups, migrations, and
+// throttle transitions — and exports them as CSV or JSON lines for
+// offline analysis. The paper's evaluation is built from exactly such
+// traces (the Fig. 9 CPU trail, the §6.1 migration counts, the Table 3
+// throttle percentages); the recorder makes them first-class artifacts
+// of any run.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies one event.
+type Kind int
+
+const (
+	// Dispatch: a task started occupying a CPU.
+	Dispatch Kind = iota
+	// SliceEnd: the task's timeslice expired (round-robin rotation).
+	SliceEnd
+	// Block: the task gave up the CPU to wait.
+	Block
+	// Wake: a blocked task became runnable again.
+	Wake
+	// Migrate: the scheduler moved the task to another CPU.
+	Migrate
+	// ThrottleOn / ThrottleOff: a throttle domain engaged or released.
+	ThrottleOn
+	ThrottleOff
+	// Finish: the task completed its work.
+	Finish
+	// Spawn: a task was created and placed.
+	Spawn
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"dispatch", "slice_end", "block", "wake", "migrate",
+	"throttle_on", "throttle_off", "finish", "spawn",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// TimeMS is the simulated time.
+	TimeMS int64 `json:"t_ms"`
+	// Kind classifies the event.
+	Kind Kind `json:"-"`
+	// KindName is the stable string form used in exports.
+	KindName string `json:"kind"`
+	// TaskID identifies the task, -1 for CPU-level events.
+	TaskID int `json:"task,omitempty"`
+	// CPU is the logical CPU involved (the destination for Migrate).
+	CPU int `json:"cpu"`
+	// From is the source CPU for Migrate, -1 otherwise.
+	From int `json:"from,omitempty"`
+	// Detail carries the migration reason or program name.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events. The zero value records nothing until
+// enabled; create with New for a bounded buffer.
+type Recorder struct {
+	// Limit bounds the number of retained events (oldest dropped);
+	// 0 means unbounded.
+	Limit   int
+	events  []Event
+	dropped int64
+}
+
+// New returns a recorder retaining at most limit events (0 = all).
+func New(limit int) *Recorder {
+	return &Recorder{Limit: limit}
+}
+
+// Add appends an event, enforcing the retention limit.
+func (r *Recorder) Add(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.KindName = ev.Kind.String()
+	if r.Limit > 0 && len(r.events) >= r.Limit {
+		// Drop the oldest half in one move to amortize (at least one,
+		// so tiny limits still converge).
+		half := len(r.events) / 2
+		if half == 0 {
+			half = 1
+		}
+		copy(r.events, r.events[half:])
+		r.events = r.events[:len(r.events)-half]
+		r.dropped += int64(half)
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the retained events in order. The slice is the
+// recorder's backing store; callers must not modify it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events the retention limit discarded.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards all events.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Recorder) CountByKind() map[string]int {
+	out := make(map[string]int)
+	for _, ev := range r.events {
+		out[ev.KindName]++
+	}
+	return out
+}
+
+// TaskEvents returns the retained events of one task, in order.
+func (r *Recorder) TaskEvents(taskID int) []Event {
+	var out []Event
+	for _, ev := range r.events {
+		if ev.TaskID == taskID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_ms,kind,task,cpu,from,detail"); err != nil {
+		return err
+	}
+	for _, ev := range r.events {
+		detail := strings.ReplaceAll(ev.Detail, ",", ";")
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%s\n",
+			ev.TimeMS, ev.KindName, ev.TaskID, ev.CPU, ev.From, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL emits the events as JSON lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

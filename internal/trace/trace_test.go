@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ev(t int64, k Kind, task, cpu int) Event {
+	return Event{TimeMS: t, Kind: k, TaskID: task, CPU: cpu, From: -1}
+}
+
+func TestKindNames(t *testing.T) {
+	if Dispatch.String() != "dispatch" || Migrate.String() != "migrate" || ThrottleOff.String() != "throttle_off" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("out-of-range kind name wrong")
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := New(0)
+	r.Add(ev(1, Spawn, 7, 0))
+	r.Add(ev(2, Dispatch, 7, 0))
+	r.Add(ev(100, SliceEnd, 7, 0))
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	if got := r.Events()[1].KindName; got != "dispatch" {
+		t.Fatalf("KindName = %q", got)
+	}
+	counts := r.CountByKind()
+	if counts["dispatch"] != 1 || counts["spawn"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Add(ev(1, Spawn, 1, 0)) // must not panic
+}
+
+func TestRetentionLimit(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 25; i++ {
+		r.Add(ev(int64(i), Dispatch, i, 0))
+	}
+	if r.Len() > 10 {
+		t.Fatalf("Len = %d exceeds limit", r.Len())
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	// The newest event is always retained.
+	last := r.Events()[r.Len()-1]
+	if last.TimeMS != 24 {
+		t.Fatalf("newest event lost: %+v", last)
+	}
+}
+
+func TestTaskEvents(t *testing.T) {
+	r := New(0)
+	r.Add(ev(1, Dispatch, 1, 0))
+	r.Add(ev(2, Dispatch, 2, 1))
+	r.Add(ev(3, Block, 1, 0))
+	got := r.TaskEvents(1)
+	if len(got) != 2 || got[1].Kind != Block {
+		t.Fatalf("TaskEvents = %+v", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(0)
+	e := ev(5, Migrate, 3, 4)
+	e.From = 1
+	e.Detail = "hot,reason" // comma must be sanitized
+	r.Add(e)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t_ms,kind,task,cpu,from,detail\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "5,migrate,3,4,1,hot;reason") {
+		t.Fatalf("row wrong: %q", out)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := New(0)
+	r.Add(ev(7, Wake, 2, 3))
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"kind":"wake"`) || !strings.Contains(b.String(), `"t_ms":7`) {
+		t.Fatalf("jsonl wrong: %q", b.String())
+	}
+}
+
+// Property: under any add sequence with a limit, Len <= limit and
+// Len + Dropped equals the number of adds.
+func TestQuickRetentionAccounting(t *testing.T) {
+	f := func(adds uint16, limitRaw uint8) bool {
+		limit := 1 + int(limitRaw%64)
+		r := New(limit)
+		n := int(adds % 1000)
+		for i := 0; i < n; i++ {
+			r.Add(ev(int64(i), Dispatch, i, 0))
+		}
+		if r.Len() > limit {
+			return false
+		}
+		return int64(r.Len())+r.Dropped() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

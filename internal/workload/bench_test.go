@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+
+	"energysched/internal/energy"
+	"energysched/internal/rng"
+)
+
+func BenchmarkTaskTick(b *testing.B) {
+	c := NewCatalog(energy.DefaultTrueModel())
+	task := NewTask(1, c.Bzip2(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		task.Tick(1)
+	}
+}
+
+func BenchmarkTaskTickStatic(b *testing.B) {
+	c := NewCatalog(energy.DefaultTrueModel())
+	task := NewTask(1, c.Bitcnts(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		task.Tick(1)
+	}
+}

@@ -1,0 +1,238 @@
+// Package workload provides phase-structured synthetic tasks standing in
+// for the paper's test programs (Table 2: bitcnts, memrw, aluadd,
+// pushpop, openssl, bzip2; Table 1 adds bash, grep, sshd).
+//
+// The paper's observation (§3.1, citing [7]) is that a task's power
+// consumption "is fairly static most of the time, but exhibits changes
+// as the task experiences different phases of execution". A Program here
+// is exactly that: a set of Phases, each with its own event-rate vector
+// (and hence true power), durations, and a Markov transition structure.
+// Interactive programs additionally block (give up the CPU) between
+// bursts.
+//
+// Only the *power time series* of a task is visible to the scheduler —
+// through event counters — so matching the published per-program powers
+// and phase variability reproduces everything the scheduling policy can
+// react to.
+package workload
+
+import (
+	"fmt"
+
+	"energysched/internal/counters"
+	"energysched/internal/rng"
+)
+
+// Phase is one execution phase of a program.
+type Phase struct {
+	// Name labels the phase for traces.
+	Name string
+	// Rates is the event-rate vector (events/ms) at full speed.
+	Rates counters.Rates
+	// MeanDurMS is the mean phase duration in executed milliseconds.
+	// Durations are exponentially distributed around the mean (phase
+	// lengths depend on input data, §3.1).
+	MeanDurMS float64
+	// NoiseFrac is the 1-sigma relative noise applied to dynamic event
+	// rates each millisecond within the phase.
+	NoiseFrac float64
+	// BlockProbPerMS is the probability per executed millisecond that
+	// the task blocks (waits for I/O or input).
+	BlockProbPerMS float64
+	// MeanBlockMS is the mean blocking duration when a block occurs.
+	MeanBlockMS float64
+	// Next lists candidate successor phase indices; one is chosen
+	// uniformly when the phase ends. An empty Next means "stay in
+	// this phase forever".
+	Next []int
+}
+
+// Program is a static description of an executable, shared by all task
+// instances started from the same binary.
+type Program struct {
+	// Name is the program name (e.g. "bitcnts").
+	Name string
+	// Binary is the pseudo inode number of the program's binary file,
+	// the key of the initial-placement hash table (§4.6).
+	Binary uint64
+	// Phases holds the phase machine; index 0 is the initial
+	// (data-independent) phase that §4.6's placement table learns.
+	Phases []Phase
+	// WorkMS is the total executed milliseconds a task instance needs
+	// to finish; 0 means the task runs until killed. Used by the
+	// throughput experiments (§6.2–§6.4).
+	WorkMS float64
+}
+
+// Validate reports structural errors in the program definition.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: program without name")
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: program %s has no phases", p.Name)
+	}
+	for i, ph := range p.Phases {
+		for _, n := range ph.Next {
+			if n < 0 || n >= len(p.Phases) {
+				return fmt.Errorf("workload: program %s phase %d has bad successor %d", p.Name, i, n)
+			}
+		}
+		if ph.MeanDurMS < 0 || ph.NoiseFrac < 0 || ph.BlockProbPerMS < 0 || ph.BlockProbPerMS > 1 {
+			return fmt.Errorf("workload: program %s phase %d has invalid parameters", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// Status describes what a task did during one simulated millisecond.
+type Status int
+
+const (
+	// Ran: the task executed for the whole millisecond.
+	Ran Status = iota
+	// Blocked: the task gave up the CPU to wait; BlockMS tells for how
+	// long.
+	Blocked
+	// Finished: the task completed its work during this millisecond.
+	Finished
+)
+
+// TickResult reports the outcome of one executed millisecond.
+type TickResult struct {
+	// Status is what the task did.
+	Status Status
+	// Counts are the events the task generated on its CPU during the
+	// millisecond (scaled by the speed factor).
+	Counts counters.Counts
+	// BlockMS is the sleep duration when Status == Blocked.
+	BlockMS float64
+}
+
+// Task is a running instance of a Program with private phase state and
+// random stream. It is the unit the scheduler manages.
+type Task struct {
+	// ID uniquely identifies the task instance.
+	ID int
+	// Prog is the shared program description.
+	Prog *Program
+
+	rng       *rng.Source
+	phase     int
+	phaseLeft float64 // executed ms remaining in current phase
+	doneWork  float64 // executed ms so far (at speed 1)
+}
+
+// NewTask instantiates a program. Each task gets its own random stream
+// so phase evolution is independent of scheduling order.
+func NewTask(id int, p *Program, r *rng.Source) *Task {
+	t := &Task{ID: id, Prog: p, rng: r, phase: 0}
+	t.phaseLeft = t.drawDuration(p.Phases[0])
+	return t
+}
+
+func (t *Task) drawDuration(ph Phase) float64 {
+	if ph.MeanDurMS <= 0 {
+		return 0 // re-drawn on first tick; treated as immediate transition
+	}
+	return ph.MeanDurMS * t.rng.ExpFloat64()
+}
+
+// Phase returns the index of the task's current phase.
+func (t *Task) Phase() int { return t.phase }
+
+// PhaseName returns the name of the task's current phase.
+func (t *Task) PhaseName() string { return t.Prog.Phases[t.phase].Name }
+
+// DoneWork returns the executed milliseconds so far at full speed.
+func (t *Task) DoneWork() float64 { return t.doneWork }
+
+// Remaining returns the work left in ms, or -1 for an endless task.
+func (t *Task) Remaining() float64 {
+	if t.Prog.WorkMS <= 0 {
+		return -1
+	}
+	rem := t.Prog.WorkMS - t.doneWork
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Tick executes the task for one millisecond at the given speed factor
+// (1.0 = exclusive use of a full core; lower when sharing a core with an
+// SMT sibling or refilling caches after a migration). It returns the
+// events generated and whether the task ran, blocked, or finished.
+func (t *Task) Tick(speed float64) TickResult {
+	if speed <= 0 || speed > 1 {
+		panic(fmt.Sprintf("workload: invalid speed factor %v", speed))
+	}
+	ph := &t.Prog.Phases[t.phase]
+
+	// Event generation: all rates — including cycles, and with them the
+	// static power folded into the cycles weight — scale with the speed
+	// factor. An SMT thread sharing its core's issue slots with a busy
+	// sibling gets proportionally fewer of everything, which keeps the
+	// package power of two contending threads at ~1.24× a solo thread
+	// rather than 2×, matching real SMT behaviour. Per-tick noise
+	// applies to the dynamic events only.
+	rates := ph.Rates
+	if ph.NoiseFrac > 0 {
+		noise := 1 + ph.NoiseFrac*t.rng.NormFloat64()
+		if noise < 0 {
+			noise = 0
+		}
+		for i := range rates {
+			if counters.Event(i) == counters.Cycles {
+				continue
+			}
+			rates[i] *= noise
+		}
+	}
+	if speed < 1 {
+		rates = rates.Scale(speed)
+	}
+	res := TickResult{Status: Ran, Counts: rates.Counts(1)}
+
+	// Progress accounting.
+	t.doneWork += speed
+	t.phaseLeft -= speed
+	if t.Prog.WorkMS > 0 && t.doneWork >= t.Prog.WorkMS {
+		res.Status = Finished
+		return res
+	}
+
+	// Phase transition.
+	if t.phaseLeft <= 0 {
+		t.advancePhase()
+	}
+
+	// Blocking.
+	if ph.BlockProbPerMS > 0 && t.rng.Bool(ph.BlockProbPerMS) {
+		res.Status = Blocked
+		res.BlockMS = ph.MeanBlockMS * t.rng.ExpFloat64()
+		if res.BlockMS < 1 {
+			res.BlockMS = 1
+		}
+	}
+	return res
+}
+
+func (t *Task) advancePhase() {
+	ph := &t.Prog.Phases[t.phase]
+	if len(ph.Next) == 0 {
+		// Terminal phase loops forever; just refresh the duration to
+		// keep phaseLeft from going very negative.
+		t.phaseLeft = t.drawDuration(*ph)
+		if t.phaseLeft <= 0 {
+			t.phaseLeft = 1
+		}
+		return
+	}
+	next := ph.Next[t.rng.Intn(len(ph.Next))]
+	t.phase = next
+	t.phaseLeft = t.drawDuration(t.Prog.Phases[next])
+	if t.phaseLeft <= 0 {
+		t.phaseLeft = 1
+	}
+}

@@ -1,0 +1,130 @@
+package energysched
+
+import (
+	"energysched/internal/experiments"
+)
+
+// Re-exported experiment result types.
+type (
+	// Table1Row is one program's successive-timeslice power change.
+	Table1Row = experiments.Table1Row
+	// Table2Row is one program's measured power.
+	Table2Row = experiments.Table2Row
+	// Table3Result is the §6.2 throttling/throughput comparison.
+	Table3Result = experiments.Table3Result
+	// Figure3Result holds the temperature/power/thermal-power curves.
+	Figure3Result = experiments.Figure3Result
+	// ThermalTraceResult holds the Fig. 6/7 per-CPU curves.
+	ThermalTraceResult = experiments.ThermalTraceResult
+	// Figure8Point is one workload-mix throughput gain.
+	Figure8Point = experiments.Figure8Point
+	// Figure9Result is the single-hot-task migration trace.
+	Figure9Result = experiments.Figure9Result
+	// Figure10Point is one task-count throughput gain.
+	Figure10Point = experiments.Figure10Point
+	// HotTaskSpeedupResult is the §6.4 execution-time comparison.
+	HotTaskSpeedupResult = experiments.HotTaskSpeedupResult
+	// MigrationCountsResult is the §6.1 migration accounting.
+	MigrationCountsResult = experiments.MigrationCountsResult
+	// CMPResult is the §7 chip-multiprocessor extension experiment.
+	CMPResult = experiments.CMPResult
+	// AblationResult is one §4.3 balancer-metric ablation row.
+	AblationResult = experiments.AblationResult
+	// PolicyComparisonResult compares CPU/task throttling vs migration.
+	PolicyComparisonResult = experiments.PolicyComparisonResult
+	// UnitAwareResult is the §7 functional-unit extension experiment.
+	UnitAwareResult = experiments.UnitAwareResult
+)
+
+// ReproduceTable1 regenerates Table 1 (per-timeslice power change).
+func ReproduceTable1(seed uint64, slices int) []Table1Row {
+	return experiments.Table1(seed, slices)
+}
+
+// ReproduceTable2 regenerates Table 2 (program powers) from a solo run
+// of runMS milliseconds per program.
+func ReproduceTable2(seed uint64, runMS int) []Table2Row {
+	return experiments.Table2(seed, runMS)
+}
+
+// ReproduceTable3 regenerates Table 3 (CPU throttling percentages and
+// the §6.2 throughput gain) with the default configuration.
+func ReproduceTable3(seed uint64) Table3Result {
+	cfg := experiments.DefaultTable3Config()
+	cfg.Seed = seed
+	return experiments.Table3(cfg)
+}
+
+// ReproduceFigure3 regenerates the Fig. 3 temperature/power/thermal-
+// power relationship.
+func ReproduceFigure3() Figure3Result { return experiments.Figure3() }
+
+// ReproduceFigure6 regenerates Fig. 6 (thermal power of the eight CPUs,
+// energy balancing disabled); ReproduceFigure7 the enabled counterpart.
+func ReproduceFigure6(seed uint64) ThermalTraceResult {
+	cfg := experiments.DefaultThermalTraceConfig(false)
+	cfg.Seed = seed
+	return experiments.ThermalTrace(cfg)
+}
+
+// ReproduceFigure7 regenerates Fig. 7 (energy balancing enabled).
+func ReproduceFigure7(seed uint64) ThermalTraceResult {
+	cfg := experiments.DefaultThermalTraceConfig(true)
+	cfg.Seed = seed
+	return experiments.ThermalTrace(cfg)
+}
+
+// ReproduceFigure8 regenerates the Fig. 8 workload-homogeneity sweep.
+func ReproduceFigure8(seed uint64) []Figure8Point {
+	cfg := experiments.DefaultFigure8Config()
+	cfg.Seed = seed
+	return experiments.Figure8(cfg)
+}
+
+// ReproduceFigure9 regenerates the Fig. 9 hot-task migration trace over
+// durationMS milliseconds.
+func ReproduceFigure9(seed uint64, durationMS int64) Figure9Result {
+	return experiments.Figure9(seed, durationMS)
+}
+
+// ReproduceFigure10 regenerates the Fig. 10 multi-task sweep.
+func ReproduceFigure10(seed uint64) []Figure10Point {
+	cfg := experiments.DefaultFigure10Config()
+	cfg.Seed = seed
+	return experiments.Figure10(cfg)
+}
+
+// ReproduceHotTaskSpeedup regenerates the §6.4 execution-time numbers
+// for a package budget.
+func ReproduceHotTaskSpeedup(seed uint64, budgetW float64) HotTaskSpeedupResult {
+	return experiments.HotTaskSpeedup(seed, budgetW, 60_000)
+}
+
+// ReproduceMigrationCounts regenerates the §6.1 migration counts over
+// durationMS milliseconds per run (the paper uses 15 minutes).
+func ReproduceMigrationCounts(seed uint64, durationMS int64) MigrationCountsResult {
+	return experiments.MigrationCounts(seed, durationMS)
+}
+
+// ReproduceCMP runs the §7 chip-multiprocessor extension: hot task
+// migration with the additional "mc" domain level on a machine of
+// dual-core packages.
+func ReproduceCMP(seed uint64, durationMS int64) CMPResult {
+	return experiments.CMPHotTask(seed, durationMS)
+}
+
+// ReproduceAblations runs the §4.3 balancer-metric ablation.
+func ReproduceAblations(seed uint64, durationMS int64) []AblationResult {
+	return experiments.AblationBalancerMetrics(seed, durationMS)
+}
+
+// ReproducePolicyComparison quantifies §2.3: CPU throttling vs hot-task
+// throttling vs energy-aware scheduling.
+func ReproducePolicyComparison(seed uint64, measureMS int64) PolicyComparisonResult {
+	return experiments.PolicyComparison(seed, measureMS)
+}
+
+// ReproduceUnitAware runs the §7 functional-unit extension experiment.
+func ReproduceUnitAware(seed uint64, measureMS int64) UnitAwareResult {
+	return experiments.UnitAware(seed, measureMS)
+}
