@@ -97,6 +97,19 @@ const (
 	ThrottlePerCore    = machine.ThrottlePerCore
 )
 
+// Engine re-exports the simulation-core selector.
+type Engine = machine.Engine
+
+// Simulation engines (see machine.Engine). EngineBatched — the default —
+// advances the machine in event-horizon quanta, integrating work,
+// energy, and temperature analytically between events; EngineLockstep is
+// the classic 1 ms loop. Both produce equivalent results for the same
+// seed; the batched engine is several times faster.
+const (
+	EngineBatched  = machine.EngineBatched
+	EngineLockstep = machine.EngineLockstep
+)
+
 // XSeries445 returns the paper's evaluation machine layout (2 NUMA
 // nodes × 4 packages × 2 SMT threads); XSeries445NoSMT the same with
 // hyper-threading disabled.
@@ -110,6 +123,12 @@ func XSeries445NoSMT() Layout { return topology.XSeries445NoSMT() }
 type Options struct {
 	// Layout is the machine shape; zero means XSeries445NoSMT.
 	Layout Layout
+	// Engine selects the simulation core; the zero value is the batched
+	// event-horizon engine. EngineLockstep restores the 1 ms loop.
+	Engine Engine
+	// MaxQuantumMS caps the batched engine's quantum; 0 selects the
+	// machine default. Ignored by the lockstep engine.
+	MaxQuantumMS int
 	// Policy selects the scheduling preset. Sched overrides it when
 	// non-nil.
 	Policy Policy
@@ -195,6 +214,8 @@ func New(opt Options) (*System, error) {
 	}
 	m, err := machine.New(machine.Config{
 		Layout:           layout,
+		Engine:           opt.Engine,
+		MaxQuantumMS:     opt.MaxQuantumMS,
 		Sched:            pol,
 		Seed:             opt.Seed,
 		PackageProps:     opt.PackageProps,

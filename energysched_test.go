@@ -255,3 +255,41 @@ func TestFacadeAccessors(t *testing.T) {
 		t.Error("sched config presets wrong")
 	}
 }
+
+// The facade exposes engine selection: both engines reproduce the same
+// run for the same seed, and the lockstep engine remains available as
+// the reference.
+func TestEngineSelection(t *testing.T) {
+	run := func(e energysched.Engine) (int64, int64, float64) {
+		sys, err := energysched.New(energysched.Options{
+			Engine:           e,
+			Seed:             21,
+			PackageMaxPowerW: []float64{50},
+			Throttle:         true,
+			RespawnFinished:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs := sys.Programs()
+		sys.SpawnN(energysched.FiniteWork(progs.Bitcnts(), 2*time.Second), 4)
+		sys.SpawnN(progs.Bash(), 4)
+		sys.Run(30 * time.Second)
+		return sys.Completions(), sys.MigrationCount(), sys.PackageTemp(0)
+	}
+	cB, mB, tB := run(energysched.EngineBatched)
+	cL, mL, tL := run(energysched.EngineLockstep)
+	if cB != cL || mB != mL {
+		t.Fatalf("engines disagree: completions %d/%d migrations %d/%d", cB, cL, mB, mL)
+	}
+	if d := math.Abs(tB-tL) / tL; d > 1e-6 {
+		t.Fatalf("package temps diverge: %.8f vs %.8f", tB, tL)
+	}
+	if cB == 0 {
+		t.Fatal("no completions")
+	}
+	// MaxQuantumMS is honored as a tuning knob.
+	if _, err := energysched.New(energysched.Options{MaxQuantumMS: -3}); err == nil {
+		t.Error("negative MaxQuantumMS accepted")
+	}
+}

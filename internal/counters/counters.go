@@ -85,6 +85,21 @@ func (c Counts) IsZero() bool {
 	return true
 }
 
+// Frac is a vector of exact (fractional) event counts. The workload
+// simulator accrues events continuously and emits integer Counts by
+// flooring a cumulative accumulator; Frac carries the exact per-interval
+// deltas so energy integration over a multi-millisecond quantum does not
+// depend on where the integer rounding boundaries fall.
+type Frac [NumEvents]float64
+
+// Add returns the element-wise sum f + g.
+func (f Frac) Add(g Frac) Frac {
+	for i := range f {
+		f[i] += g[i]
+	}
+	return f
+}
+
 // Rates is a vector of event rates, in events per millisecond of
 // execution. Workload phases are described by Rates; the simulator
 // converts them to Counts as tasks run.

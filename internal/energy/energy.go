@@ -94,9 +94,15 @@ func (m *TrueModel) EnergyJ(delta counters.Counts, haltMS float64) float64 {
 // given event rates (events per ms). The cycles component contributes
 // the static execution power.
 func (m *TrueModel) ExecPower(r counters.Rates) float64 {
+	return rateWatts(m.Weights, r)
+}
+
+// rateWatts converts event rates (events per ms) into power (W) under
+// the given weights.
+func rateWatts(w Weights, r counters.Rates) float64 {
 	p := 0.0
-	for i, w := range m.Weights {
-		p += w * r[i] * 1000 // events/ms → events/s
+	for i, wi := range w {
+		p += wi * r[i] * 1000 // events/ms → events/s
 	}
 	return p
 }
@@ -185,10 +191,38 @@ func (e *Estimator) PowerW(delta counters.Counts, haltMS, intervalMS float64) fl
 	return e.EnergyJ(delta, haltMS) / (intervalMS / 1000)
 }
 
+// EnergyJExact is EnergyJ over exact (fractional) event counts, used by
+// the simulation engines to integrate true power over a whole quantum
+// without integer-rounding ripple.
+func (m *TrueModel) EnergyJExact(delta counters.Frac, haltMS float64) float64 {
+	return weightedEnergyExact(m.Weights, delta) + m.HaltPower*haltMS/1000
+}
+
+// EnergyJExact estimates the Joules of an interval from exact
+// (fractional) event counts; see TrueModel.EnergyJExact.
+func (e *Estimator) EnergyJExact(delta counters.Frac, haltMS float64) float64 {
+	return weightedEnergyExact(e.Weights, delta) + e.HaltPower*haltMS/1000
+}
+
+// RateWatts returns the instantaneous estimated power (W) of a workload
+// emitting the given event rates per wall millisecond — the constant
+// sample the thermal-power metric will be fed while those rates hold.
+func (e *Estimator) RateWatts(r counters.Rates) float64 {
+	return rateWatts(e.Weights, r)
+}
+
 func weightedEnergy(w Weights, delta counters.Counts) float64 {
 	e := 0.0
 	for i, wi := range w {
 		e += wi * float64(delta[i])
+	}
+	return e
+}
+
+func weightedEnergyExact(w Weights, delta counters.Frac) float64 {
+	e := 0.0
+	for i, wi := range w {
+		e += wi * delta[i]
 	}
 	return e
 }

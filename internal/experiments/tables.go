@@ -40,7 +40,7 @@ func Table1(seed uint64, slices int) []Table1Row {
 			var cnt counters.Counts
 			ran := 0.0
 			for ms := 0; ms < 100; ms++ {
-				res := task.Tick(1)
+				res := task.Tick(1, 1)
 				cnt = cnt.Add(res.Counts)
 				ran++
 				if res.Status == workload.Blocked {
@@ -95,7 +95,7 @@ func Table2(seed uint64, runMS int) []Table2Row {
 		for s := 0; s < runMS/1000; s++ {
 			var cnt counters.Counts
 			for ms := 0; ms < 1000; ms++ {
-				cnt = cnt.Add(task.Tick(1).Counts)
+				cnt = cnt.Add(task.Tick(1, 1).Counts)
 			}
 			samples = append(samples, est.PowerW(cnt, 0, 1000))
 		}

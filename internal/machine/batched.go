@@ -1,0 +1,302 @@
+package machine
+
+import (
+	"math"
+
+	"energysched/internal/profile"
+	"energysched/internal/sched"
+	"energysched/internal/thermal"
+	"energysched/internal/topology"
+)
+
+// The batched event-horizon engine.
+//
+// Instead of simulating every millisecond, the engine computes — before
+// each shared step — the largest quantum dt over which the machine state
+// is provably constant, and lets the step integrate the whole quantum at
+// once. A quantum may not span:
+//
+//   - a sleeper's wake-up (tasks join runqueues at wake instants),
+//   - a running task's timeslice expiry, block point, or completion
+//     (execution state changes at the end of the crossing millisecond),
+//   - a running task's phase or noise-epoch boundary (event rates — and
+//     with them power — change; the crossing millisecond is isolated
+//     into its own 1 ms quantum so power stays constant per quantum),
+//   - the end of a migration's cache-warmup penalty (speed changes),
+//   - a balance, idle-pull, hot-check, or monitor deadline (periodic
+//     work runs on the quantum's last tick, exactly on schedule),
+//   - a predicted throttle flip: while inputs are constant, the
+//     thermal-power metric follows a geometric curve, so the
+//     millisecond at which a throttle would engage or disengage is
+//     solved in closed form and the quantum stops one millisecond
+//     short — the flip itself is then decided on a 1 ms quantum,
+//     bit-for-bit like lockstep,
+//   - MaxQuantumMS.
+//
+// Within such a quantum every substrate is exactly integrable: the
+// workload's counts are linear in executed time (and its stochastic
+// processes are indexed by progress, not ticks), the RC thermal step is
+// closed-form, and the variable-period exponential average composes one
+// dt-update identically to dt unit updates. Batching is therefore exact
+// up to floating-point rounding, not an approximation — the
+// cross-engine tests assert identical completions, migrations, and
+// throttle decisions against the lockstep engine.
+func (m *Machine) runBatched(durationMS int64) {
+	end := m.nowMS + durationMS
+	for m.nowMS < end {
+		limit := end - m.nowMS
+		if limit > m.maxQuantum {
+			limit = m.maxQuantum
+		}
+		m.step(limit)
+	}
+}
+
+// planQuantum returns the largest safe quantum dt in [1, limit] for the
+// current machine state. It runs after dispatch, throttle engagement,
+// and speed assignment, so m.execSpeed (0 for halted or idle CPUs)
+// describes the quantum about to execute.
+func (m *Machine) planQuantum(limit int64) int64 {
+	dt := limit
+	now := m.nowMS
+	clamp := func(v int64) {
+		if v < dt {
+			if v < 1 {
+				v = 1
+			}
+			dt = v
+		}
+	}
+
+	// Metric sampling boundary: the quantum must end exactly on the
+	// next multiple of the monitor period.
+	if p := int64(m.Cfg.MonitorPeriodMS); p > 0 {
+		if r := now % p; r == 0 {
+			clamp(1)
+		} else {
+			clamp(p - r + 1)
+		}
+	}
+
+	// Earliest sleeper wake-up (a start-of-tick event: the quantum must
+	// end before it).
+	for _, ts := range m.sleepers {
+		clamp(ts.wakeAtMS - now)
+	}
+
+	// §2.3 task throttling rotates runqueue heads every millisecond
+	// while a throttle is engaged; degrade to lockstep for those spans.
+	if m.Cfg.TaskThrottling && m.anyThrottleEngaged() {
+		return 1
+	}
+
+	queued := m.Sched.TotalQueued()
+	nCPU := m.Cfg.Layout.NumLogical()
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		rq := m.Sched.RQ(cpu)
+		if cur := rq.Current; cur != nil {
+			clamp(ceilToInt64(cur.SliceLeft))
+			if cur.WarmupLeft > 0 {
+				clamp(ceilToInt64(cur.WarmupLeft))
+			}
+			if speed := m.execSpeed[c]; speed > 0 {
+				work := m.dispatches[c].task.work
+				if rh := work.RateHorizonMS(); !math.IsInf(rh, 1) {
+					// Rates change inside the crossing millisecond;
+					// isolate it so quantum power is exactly constant.
+					clamp(int64(math.Floor(rh / speed)))
+				}
+				if sh := work.StopHorizonMS(); !math.IsInf(sh, 1) {
+					// Block/finish take effect at the end of the
+					// crossing millisecond.
+					clamp(ceilToInt64(sh / speed))
+				}
+			}
+			// Hot-task checks act only on single-task CPUs with a power
+			// budget installed; other CPUs' hot deadlines are no-ops.
+			if m.hotArmed && rq.Len() == 1 && m.Sched.Power[c].MaxPower > 0 {
+				if d := m.wheel.NextHot(now, c); d != sched.NoDeadline {
+					clamp(d - now + 1)
+				}
+			}
+		}
+		// With zero waiting tasks machine-wide, every balancing pass is
+		// provably a no-op and its deadlines can be skipped — the big
+		// win for idle-heavy workloads.
+		if queued > 0 {
+			if d := m.wheel.NextBalance(now, c); d != sched.NoDeadline {
+				clamp(d - now + 1)
+			}
+			if rq.Idle() {
+				clamp(m.wheel.NextIdlePull(now, c) - now + 1)
+			}
+		}
+	}
+
+	if dt > 1 && m.throttles != nil {
+		dt = m.clampThrottleCrossings(dt)
+	}
+	if dt > 1 && m.unitThrottles != nil {
+		dt = m.clampUnitCrossings(dt)
+	}
+	if dt < 1 {
+		dt = 1
+	}
+	return dt
+}
+
+// anyThrottleEngaged reports whether any throttle (scalar or unit) is
+// currently engaged.
+func (m *Machine) anyThrottleEngaged() bool {
+	for _, th := range m.throttles {
+		if th.Engaged() {
+			return true
+		}
+	}
+	for _, th := range m.unitThrottles {
+		if th.Engaged() {
+			return true
+		}
+	}
+	return false
+}
+
+// metricFeed fills m.xbarScratch with the constant per-millisecond
+// sample (in Watts) each CPU will feed its thermal-power metric for the
+// duration of the quantum: the running task's estimated power at the
+// current rates and speed, or the idle share when halted or idle.
+func (m *Machine) metricFeed() []float64 {
+	for c := range m.xbarScratch {
+		if speed := m.execSpeed[c]; speed > 0 {
+			rates := m.dispatches[c].task.work.EffectiveRates()
+			m.xbarScratch[c] = m.Est.RateWatts(rates) * speed
+		} else {
+			m.xbarScratch[c] = m.estIdleW
+		}
+	}
+	return m.xbarScratch
+}
+
+// clampThrottleCrossings bounds the quantum by the predicted throttle
+// decision flips. While each member CPU feeds a constant sample x, the
+// group's summed metric follows S(n) = X + (S0 − X)·q^n exactly, so the
+// first millisecond at which the engage/disengage condition changes is
+// solved in closed form; the quantum stops one millisecond short of it
+// and the flip is decided on 1 ms quanta, identically to lockstep.
+func (m *Machine) clampThrottleCrossings(dt int64) int64 {
+	xbar := m.metricFeed()
+	for i, th := range m.throttles {
+		if th.LimitW <= 0 {
+			continue
+		}
+		members := m.throttleMembers[i]
+		s0, x := 0.0, 0.0
+		for _, cpu := range members {
+			s0 += m.Sched.Power[int(cpu)].ThermalPower()
+			x += xbar[int(cpu)]
+		}
+		retain := m.Sched.Power[int(members[0])].RetentionPerMS()
+		var n int64
+		var ok bool
+		if th.Engaged() {
+			n, ok = profile.CrossSteps(s0, x, retain, th.LimitW-thermal.Hysteresis, false)
+		} else {
+			n, ok = profile.CrossSteps(s0, x, retain, th.LimitW, true)
+		}
+		if !ok {
+			continue
+		}
+		if n--; n < 1 {
+			n = 1
+		}
+		if n < dt {
+			dt = n
+		}
+	}
+	return dt
+}
+
+// clampUnitCrossings bounds the quantum so that no unit-temperature
+// throttle decision can flip inside a quantum. The bound is derived
+// from the machine state rather than a fixed envelope: within the
+// quantum the core's power is exactly the current rates at the current
+// speeds, so the core reference stays between its start temperature and
+// the corresponding steady point, and a hotspot's per-millisecond move
+// toward a threshold is at most (1 − a)·gap where a is its per-ms
+// retention and gap its distance to the extreme reachable target
+// (reference bound + R·core power for rises, reference bound for
+// falls). A 2× safety factor absorbs the shrinking-gap conservatism;
+// near a threshold the quanta collapse to 1 ms, where decisions are
+// made exactly as in lockstep.
+func (m *Machine) clampUnitCrossings(dt int64) int64 {
+	layout := m.Cfg.Layout
+	threads := layout.ThreadsPerPackage
+	// Per-core raw true power of the coming quantum (rates and speeds
+	// are constant within it). m.corePower is free as scratch here: the
+	// thermal phase recomputes it after execution.
+	raw := m.corePower
+	for core := range m.nodes {
+		sum := 0.0
+		for t := 0; t < threads; t++ {
+			c := int(layout.CPUOfCore(core, t))
+			if speed := m.execSpeed[c]; speed > 0 {
+				sum += m.Model.ExecPower(m.dispatches[c].task.work.EffectiveRates()) * speed
+			} else {
+				sum += m.idleShareW
+			}
+		}
+		raw[core] = sum
+	}
+	clamp := func(margin, gap, onePerMS float64) {
+		if gap <= 0 {
+			return // cannot move toward the threshold
+		}
+		n := int64(margin / (onePerMS * gap) / 2)
+		if n < 1 {
+			n = 1
+		}
+		if n < dt {
+			dt = n
+		}
+	}
+	for core, th := range m.unitThrottles {
+		if th.LimitW <= 0 {
+			continue
+		}
+		eff := m.coupledEffPower(raw, core)
+		node := m.nodes[core]
+		refHi := math.Max(node.TempC, node.Props.SteadyTemp(eff))
+		refLo := math.Min(node.TempC, node.Props.SteadyTemp(eff))
+		onePerMS := 1 - m.unitNodes[core][0].Props.DecayPerMS()
+		if th.Engaged() {
+			// The flip (disengage) requires the hottest unit itself to
+			// fall below limit − hysteresis; bound its fastest fall.
+			var hot *thermal.Node
+			for _, n := range m.unitNodes[core] {
+				if hot == nil || n.TempC > hot.TempC {
+					hot = n
+				}
+			}
+			margin := hot.TempC - (th.LimitW - thermal.Hysteresis)
+			if margin < 0 {
+				margin = 0
+			}
+			clamp(margin, hot.TempC-refLo, onePerMS)
+		} else {
+			// The flip (engage) happens when any unit rises to the
+			// limit; bound each unit's fastest rise. A unit's power is
+			// at most its core's raw power.
+			for _, n := range m.unitNodes[core] {
+				margin := th.LimitW - n.TempC
+				if margin < 0 {
+					margin = 0
+				}
+				clamp(margin, refHi+m.Cfg.UnitR*raw[core]-n.TempC, onePerMS)
+			}
+		}
+	}
+	return dt
+}
+
+func ceilToInt64(v float64) int64 { return int64(math.Ceil(v)) }

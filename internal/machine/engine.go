@@ -1,0 +1,446 @@
+package machine
+
+import (
+	"energysched/internal/counters"
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/units"
+	"energysched/internal/workload"
+)
+
+// This file holds the engine-independent simulation step: advancing the
+// whole machine by one quantum of dt ≥ 1 milliseconds over which the
+// machine state is constant — same dispatch assignments, same halt
+// decisions, same execution speeds, same workload event rates. The
+// lockstep engine (lockstep.go) calls step with dt capped at 1; the
+// batched engine (batched.go) first plans the largest safe dt from the
+// event horizons and then calls the very same step, so a 1 ms quantum is
+// bit-for-bit the lockstep millisecond.
+//
+// The quantum convention: a step covers the ticks [nowMS, nowMS+dt).
+// Start-of-tick actions (wake-ups, dispatching idle CPUs, throttle
+// engagement) happen at nowMS; end-of-tick actions (timeslice expiry,
+// blocking, completion, balancing, metric sampling) happen at
+// nowMS+dt−1, the quantum's last tick — exactly where the lockstep loop
+// performs them.
+
+// Run advances the simulation by durationMS milliseconds using the
+// configured engine.
+func (m *Machine) Run(durationMS int64) {
+	if m.Cfg.Engine == EngineLockstep {
+		m.runLockstep(durationMS)
+		return
+	}
+	m.runBatched(durationMS)
+}
+
+// step simulates one quantum of at most limitMS milliseconds and
+// returns the quantum length actually executed. limitMS must be ≥ 1;
+// with limitMS == 1 the step is exactly one lockstep tick.
+func (m *Machine) step(limitMS int64) int64 {
+	layout := m.Cfg.Layout
+	nCPU := layout.NumLogical()
+	threads := layout.ThreadsPerPackage
+
+	// 1. Wake sleepers whose block time elapsed. Wake-up keeps CPU
+	// affinity: the task returns to the runqueue it blocked on.
+	if len(m.sleepers) > 0 {
+		kept := m.sleepers[:0]
+		for _, ts := range m.sleepers {
+			if ts.wakeAtMS <= m.nowMS {
+				ts.sleeping = false
+				m.Sched.RQ(ts.st.CPU).Enqueue(ts.st)
+				m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Wake, TaskID: ts.st.ID, CPU: int(ts.st.CPU), From: -1})
+			} else {
+				kept = append(kept, ts)
+			}
+		}
+		m.sleepers = kept
+	}
+
+	// 2. Dispatch idle CPUs.
+	for c := 0; c < nCPU; c++ {
+		rq := m.Sched.RQ(topology.CPUID(c))
+		if rq.Current == nil {
+			if t := rq.PickNext(); t != nil {
+				m.startDispatch(topology.CPUID(c), t, m.nowMS)
+			}
+		}
+	}
+
+	// 3. Throttle decisions from the thermal-power metric (§6.2), plus
+	// — under the §7 extension — unit-temperature throttling: a core
+	// halts while any of its functional-unit hotspots exceeds the
+	// unit limit. Engagement state transitions here; per-tick
+	// accounting is deferred until the quantum length is known.
+	throttledStep := m.throttledCPUs()
+	if m.unitThrottles != nil {
+		for core, th := range m.unitThrottles {
+			maxT := 0.0
+			for _, n := range m.unitNodes[core] {
+				if n.TempC > maxT {
+					maxT = n.TempC
+				}
+			}
+			if th.Engage(maxT) {
+				for t := 0; t < threads; t++ {
+					throttledStep[int(layout.CPUOfCore(core, t))] = true
+				}
+			}
+		}
+	}
+	for c := 0; c < nCPU; c++ {
+		m.execSpeed[c] = 0
+		rq := m.Sched.RQ(topology.CPUID(c))
+		if rq.Current == nil {
+			continue
+		}
+		halt := throttledStep[c]
+		if halt && m.Cfg.TaskThrottling {
+			// §2.3 hot-task throttling: only tasks responsible for
+			// the overheating are halted; a cool task keeps running
+			// even while the throttle is engaged. A hot task at the
+			// head of the queue is rotated away (its slice ends) so
+			// cool queue-mates are not starved behind it; the CPU
+			// halts this tick only if the queue's head is still hot.
+			// (The batched planner degrades to 1 ms quanta while any
+			// throttle is engaged under this policy, so this per-tick
+			// rotation runs exactly as in lockstep.)
+			cpu := topology.CPUID(c)
+			sustainable := m.Sched.MaxPower(cpu)
+			if rq.Current.ProfiledWatts() > sustainable && len(rq.Queued()) > 0 {
+				m.endTimeslice(cpu, m.nowMS)
+			}
+			if rq.Current != nil && rq.Current.ProfiledWatts() <= sustainable {
+				halt = false
+			}
+		}
+		if !halt {
+			m.execSpeed[c] = 1
+		}
+		throttledStep[c] = halt
+		if m.Cfg.Trace != nil && halt != m.prevHalt[c] {
+			kind := trace.ThrottleOff
+			if halt {
+				kind = trace.ThrottleOn
+			}
+			m.emit(trace.Event{TimeMS: m.nowMS, Kind: kind, TaskID: -1, CPU: c, From: -1})
+		}
+		m.prevHalt[c] = halt
+	}
+
+	// 4. SMT contention: a logical CPU executing alongside a busy
+	// sibling runs at the slowdown factor. Cache-warmup penalties after
+	// a migration (§4.1) fold in here too, so execSpeed is the final
+	// execution speed of the quantum.
+	if threads > 1 {
+		for c := 0; c < nCPU; c++ {
+			if m.execSpeed[c] == 0 {
+				continue
+			}
+			for _, sib := range layout.Siblings(topology.CPUID(c)) {
+				if int(sib) != c && m.execSpeed[sib] > 0 {
+					m.execSpeed[c] = m.Cfg.SMTSlowdown
+					break
+				}
+			}
+		}
+	}
+	for c := 0; c < nCPU; c++ {
+		if m.execSpeed[c] == 0 {
+			continue
+		}
+		if t := m.Sched.RQ(topology.CPUID(c)).Current; t.WarmupLeft > 0 {
+			speed := m.execSpeed[c] * m.Cfg.Sched.WarmupSpeed
+			if speed <= 0 || speed > 1 {
+				speed = m.Cfg.Sched.WarmupSpeed
+			}
+			m.execSpeed[c] = speed
+		}
+	}
+
+	// 5. Fix the quantum: the largest dt over which every decision made
+	// above provably holds (1 for the lockstep engine).
+	dt := limitMS
+	if dt > 1 {
+		dt = m.planQuantum(dt)
+	}
+	fdt := float64(dt)
+	// From here on the machine clock points at the quantum's last tick:
+	// end-of-tick actions (slice expiry, blocking, completion,
+	// balancing, migration hooks, sampling) and anything they trigger
+	// (respawns, migration events) stamp this instant, exactly as the
+	// lockstep loop does. step advances the clock past the quantum just
+	// before returning.
+	m.nowMS += dt - 1
+	endMS := m.nowMS
+	for _, th := range m.throttles {
+		th.Account(dt)
+	}
+	for _, th := range m.unitThrottles {
+		th.Account(dt)
+	}
+	for c := 0; c < nCPU; c++ {
+		if throttledStep[c] && m.Sched.RQ(topology.CPUID(c)).Current != nil {
+			m.haltedTicks[c] += dt
+		}
+	}
+
+	// 6. Execute, account energy. The workload integrates the whole
+	// quantum in one call (exactly, thanks to its progress-indexed
+	// stochastic processes); the thermal-power metric folds the
+	// quantum's average power in one variable-period update, which the
+	// exponential average composes identically to dt per-millisecond
+	// updates.
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		speed := m.execSpeed[c]
+		if speed == 0 {
+			// Idle or halted: sleep power only.
+			m.truePower[c] = m.idleShareW
+			m.Sched.Power[c].AddEnergy(m.estIdleJ*fdt, fdt)
+			if m.Sched.RQ(cpu).Current == nil {
+				m.idleTicks[c] += dt
+			}
+			continue
+		}
+		d := &m.dispatches[c]
+		task := d.task
+		if task.st.WarmupLeft > 0 {
+			task.st.WarmupLeft -= fdt
+		}
+		res := task.work.Tick(speed, fdt)
+		m.WorkDoneMS += speed * fdt
+		m.banks[c].Accumulate(res.Counts)
+		d.counts = d.counts.Add(res.Counts)
+		d.ranMS += fdt
+		task.st.SliceLeft -= fdt
+
+		trueJ := m.Model.EnergyJExact(res.Exact, 0)
+		m.truePower[c] = trueJ * 1000 / fdt
+		if m.unitPower != nil {
+			ue := units.SplitExact(m.Model.Weights, res.Exact)
+			core := layout.Core(cpu)
+			for u := range ue {
+				m.unitPower[core][u] += ue[u] * 1000 / fdt
+			}
+		}
+		m.Sched.Power[c].AddEnergy(m.Est.EnergyJExact(res.Exact, 0), fdt)
+
+		switch res.Status {
+		case workload.Finished:
+			m.finishTask(cpu, task, endMS)
+		case workload.Blocked:
+			m.blockTask(cpu, task, res.BlockMS, endMS)
+		default:
+			if task.st.SliceLeft <= 0 {
+				m.endTimeslice(cpu, endMS)
+			}
+		}
+	}
+
+	// 7. Thermal model: each core integrates its own true power plus a
+	// coupling share of its chip neighbours' (§7 CMP extension; on
+	// single-core packages the coupling term vanishes and this is the
+	// paper's per-package RC model). The RC step is closed-form, so one
+	// dt-millisecond step equals dt single steps at the same power.
+	for core := range m.nodes {
+		sum := 0.0
+		for t := 0; t < threads; t++ {
+			sum += m.truePower[int(layout.CPUOfCore(core, t))]
+		}
+		m.corePower[core] = sum
+		m.coreStartTemp[core] = m.nodes[core].TempC
+	}
+	for core := range m.nodes {
+		eff := m.coupledEffPower(m.corePower, core)
+		m.coreEff[core] = eff
+		m.nodes[core].StepExact(eff, fdt)
+	}
+	if m.unitNodes != nil {
+		for core := range m.unitNodes {
+			if dt == 1 {
+				// The lockstep path: hotspots ride on the core
+				// temperature just stepped.
+				ref := m.nodes[core].TempC
+				for u, n := range m.unitNodes[core] {
+					n.StepOver(m.unitPower[core][u], 1, ref)
+					m.unitPower[core][u] = 0
+				}
+				continue
+			}
+			// Batched path: the closed form of dt per-ms StepOver
+			// calls against the core's geometric relaxation.
+			steady := m.nodes[core].Props.SteadyTemp(m.coreEff[core])
+			decay := m.nodes[core].Props.DecayPerMS()
+			for u, n := range m.unitNodes[core] {
+				n.StepOverBatched(m.unitPower[core][u], dt, m.coreStartTemp[core], steady, decay)
+				m.unitPower[core][u] = 0
+			}
+		}
+	}
+
+	// 8. Periodic balancing and hot-task checks, staggered per CPU on
+	// the deadline wheel. The batched planner guarantees no deadline
+	// falls strictly inside the quantum, so checking the end tick alone
+	// visits exactly the instants the lockstep loop visits.
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		if m.wheel.BalanceDue(endMS, c) {
+			m.Sched.Balance(cpu)
+			m.Sched.UnitBalance(cpu)
+		} else if m.Sched.RQ(cpu).Idle() && m.wheel.IdlePullDue(endMS, c) {
+			// Idle balancing: an idle CPU tries to pull work promptly,
+			// like Linux's idle rebalance.
+			m.Sched.Balance(cpu)
+		}
+		if m.wheel.HotDue(endMS, c) {
+			m.Sched.HotCheck(cpu)
+		}
+	}
+
+	// 9. Metric sampling.
+	if p := m.Cfg.MonitorPeriodMS; p > 0 && endMS%int64(p) == 0 {
+		for c := 0; c < nCPU; c++ {
+			m.tpSeries[c].Append(m.Sched.Power[c].ThermalPower())
+		}
+		for core := range m.nodes {
+			m.tempSeries[core].Append(m.nodes[core].TempC)
+		}
+	}
+
+	// Advance the clock past the quantum.
+	m.nowMS++
+	return dt
+}
+
+// coupledEffPower returns the effective power heating core's thermal
+// node: its own raw power plus the CoreCoupling share of its chip
+// neighbours'. Shared between the thermal phase of step and the batched
+// planner's unit-temperature horizon so both provably use the same
+// coupling model.
+func (m *Machine) coupledEffPower(raw []float64, core int) float64 {
+	cores := m.Cfg.Layout.Cores()
+	eff := raw[core]
+	if cores > 1 {
+		k := m.Cfg.CoreCoupling
+		pkg := core / cores
+		for cc := pkg * cores; cc < (pkg+1)*cores; cc++ {
+			if cc != core {
+				eff += k * raw[cc]
+			}
+		}
+	}
+	return eff
+}
+
+// throttledCPUs runs the throttle engagement for this step and returns,
+// per logical CPU, whether it must halt. Each throttle decides on the
+// summed thermal power of its precomputed member group — the same
+// groups the batched planner's crossing prediction iterates. The
+// returned slice is a scratch buffer reused across steps.
+func (m *Machine) throttledCPUs() []bool {
+	nCPU := m.Cfg.Layout.NumLogical()
+	if m.throttleScratch == nil {
+		m.throttleScratch = make([]bool, nCPU)
+	}
+	out := m.throttleScratch
+	for i := range out {
+		out[i] = false
+	}
+	for i, th := range m.throttles {
+		members := m.throttleMembers[i]
+		sum := 0.0
+		for _, cpu := range members {
+			sum += m.Sched.Power[int(cpu)].ThermalPower()
+		}
+		h := th.Engage(sum)
+		for _, cpu := range members {
+			out[int(cpu)] = h
+		}
+	}
+	return out
+}
+
+// startDispatch begins a task's occupancy of a CPU: fresh timeslice,
+// fresh accounting.
+func (m *Machine) startDispatch(cpu topology.CPUID, t *sched.Task, atMS int64) {
+	ts := m.tasks[t.ID]
+	d := &m.dispatches[int(cpu)]
+	d.task = ts
+	d.counts = counters.Counts{}
+	d.ranMS = 0
+	t.SliceLeft = t.Timeslice()
+	m.emit(trace.Event{TimeMS: atMS, Kind: trace.Dispatch, TaskID: t.ID, CPU: int(cpu), From: -1})
+}
+
+// finalizeDispatch ends the accounting of the task occupying cpu: the
+// estimator converts the accumulated counter delta into energy (Eq. 1),
+// which updates the task's energy profile over the actual period the
+// task ran (§3.3). The first completed slice of a task is recorded in
+// the placement table (§4.6).
+func (m *Machine) finalizeDispatch(cpu topology.CPUID) {
+	d := &m.dispatches[int(cpu)]
+	if d.task == nil || d.ranMS <= 0 {
+		d.task = nil
+		return
+	}
+	energyJ := m.Est.EnergyJ(d.counts, 0)
+	d.task.st.Profile.AddSample(energyJ, d.ranMS)
+	if d.task.st.Units != nil {
+		d.task.st.Units.AddSample(units.Split(m.Est.Weights, d.counts), d.ranMS)
+	}
+	if !d.task.firstSliceDone {
+		d.task.firstSliceDone = true
+		m.Sched.RecordFirstSlice(d.task.st, energyJ/(d.ranMS/1000))
+	}
+	d.task = nil
+	d.counts = counters.Counts{}
+	d.ranMS = 0
+}
+
+// endTimeslice rotates the running task to the tail of its queue.
+func (m *Machine) endTimeslice(cpu topology.CPUID, atMS int64) {
+	if cur := m.Sched.RQ(cpu).Current; cur != nil {
+		m.emit(trace.Event{TimeMS: atMS, Kind: trace.SliceEnd, TaskID: cur.ID, CPU: int(cpu), From: -1})
+	}
+	m.finalizeDispatch(cpu)
+	rq := m.Sched.RQ(cpu)
+	rq.Deschedule(true)
+	if t := rq.PickNext(); t != nil {
+		m.startDispatch(cpu, t, atMS)
+	}
+}
+
+// blockTask moves the running task to the sleep list.
+func (m *Machine) blockTask(cpu topology.CPUID, ts *taskState, blockMS float64, atMS int64) {
+	m.emit(trace.Event{TimeMS: atMS, Kind: trace.Block, TaskID: ts.st.ID, CPU: int(cpu), From: -1})
+	m.finalizeDispatch(cpu)
+	rq := m.Sched.RQ(cpu)
+	rq.Deschedule(false)
+	ts.sleeping = true
+	ts.wakeAtMS = atMS + int64(blockMS)
+	m.sleepers = append(m.sleepers, ts)
+	if t := rq.PickNext(); t != nil {
+		m.startDispatch(cpu, t, atMS)
+	}
+}
+
+// finishTask retires a completed task and, if configured, respawns a
+// fresh instance of its program to keep the offered load constant.
+func (m *Machine) finishTask(cpu topology.CPUID, ts *taskState, atMS int64) {
+	m.emit(trace.Event{TimeMS: atMS, Kind: trace.Finish, TaskID: ts.st.ID, CPU: int(cpu), From: -1, Detail: ts.prog.Name})
+	m.finalizeDispatch(cpu)
+	rq := m.Sched.RQ(cpu)
+	rq.Deschedule(false)
+	delete(m.tasks, ts.st.ID)
+	m.Completions++
+	m.CompletionsByProg[ts.prog.Name]++
+	if t := rq.PickNext(); t != nil {
+		m.startDispatch(cpu, t, atMS)
+	}
+	if m.Cfg.RespawnFinished {
+		m.Spawn(ts.prog)
+	}
+}

@@ -1,0 +1,313 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/workload"
+)
+
+// Cross-engine equivalence: the batched event-horizon engine must
+// reproduce the lockstep engine's results for the same seed — identical
+// discrete outcomes (completions, migrations with their timestamps,
+// throttle engagement time) and float outcomes (temperatures, thermal
+// powers, energy-derived profiles) within 1e-6 relative tolerance.
+
+// engineScenario describes one equivalence scenario.
+type engineScenario struct {
+	name  string
+	build func(e Engine) *Machine
+	runMS int64
+}
+
+func engineScenarios() []engineScenario {
+	cat := catalog()
+	return []engineScenario{
+		{
+			// Mostly-blocked interactive tasks: long idle stretches
+			// between wake-ups, the batched engine's best case.
+			name: "idle-heavy",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 11,
+					PackageMaxPowerW: []float64{60}, MonitorPeriodMS: 500,
+				})
+				m.SpawnN(cat.Sshd(), 3)
+				m.SpawnN(cat.Httpd(), 3)
+				m.Spawn(cat.Bash())
+				return m
+			},
+			runMS: 60_000,
+		},
+		{
+			// Saturated CPU-bound mix with energy balancing active.
+			name: "steady-state",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 3,
+					PackageMaxPowerW: []float64{60}, MonitorPeriodMS: 1000,
+				})
+				for _, p := range cat.Table2Set() {
+					m.SpawnN(p, 2)
+				}
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// Throttling engaged and oscillating, finite tasks churning
+			// through respawn, per-logical scope.
+			name: "throttled-churn",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 42,
+					PackageMaxPowerW: []float64{50},
+					ThrottleEnabled:  true, Scope: ThrottlePerLogical,
+					RespawnFinished: true,
+				})
+				m.SpawnN(workload.WithWork(cat.Bitcnts(), 3000), 6)
+				m.SpawnN(workload.WithWork(cat.Memrw(), 3000), 6)
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// The Fig. 9 setup: SMT machine, one hot task hopping
+			// between packages under per-package throttling.
+			name: "smt-hot-migration",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445(),
+					Sched: sched.DefaultConfig(), Seed: 7,
+					PackageMaxPowerW: []float64{40},
+					ThrottleEnabled:  true, Scope: ThrottlePerPackage,
+					MonitorPeriodMS:  100,
+				})
+				m.Spawn(cat.Bitcnts())
+				return m
+			},
+			runMS: 60_000,
+		},
+		{
+			// §7 CMP: per-core throttling, core coupling, dual-core
+			// chips, hot rotation across the mc level.
+			name: "cmp-per-core",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.CMP2x2(),
+					Sched: sched.DefaultConfig(), Seed: 3,
+					PackageProps:     []energyProps{props01(), props01()},
+					PackageMaxPowerW: []float64{100},
+					ThrottleEnabled:  true, Scope: ThrottlePerCore,
+				})
+				m.Spawn(cat.Bitcnts())
+				m.Spawn(cat.Bzip2())
+				return m
+			},
+			runMS: 60_000,
+		},
+		{
+			// §7 unit extension: unit hotspots, unit throttling, and
+			// unit-aware balancing of equal-power int/FP tasks.
+			name: "unit-thermal",
+			build: func(e Engine) *Machine {
+				pol := sched.DefaultConfig()
+				pol.UnitAwareBalancing = true
+				m := MustNew(Config{
+					Engine: e, Layout: topology.CMP2x2(),
+					Sched: pol, Seed: 9,
+					PackageProps:     []energyProps{props01(), props01()},
+					PackageMaxPowerW: []float64{100},
+					ThrottleEnabled:  true, Scope: ThrottlePerCore,
+					UnitThermal:      true, UnitLimitC: 45,
+				})
+				m.SpawnN(cat.Intmix(), 2)
+				m.SpawnN(cat.Fpmix(), 2)
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// §2.3 task-throttling policy: per-tick head rotation while
+			// engaged (the planner's forced-lockstep path).
+			name: "task-throttling",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.BaselineConfig(), Seed: 5,
+					PackageMaxPowerW: []float64{45},
+					ThrottleEnabled:  true, Scope: ThrottlePerLogical,
+					TaskThrottling:   true,
+				})
+				m.SpawnN(cat.Bitcnts(), 2)
+				m.SpawnN(cat.Memrw(), 2)
+				return m
+			},
+			runMS: 30_000,
+		},
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestEngineEquivalence runs every scenario through both engines and
+// asserts the acceptance contract: exactly equal discrete outcomes,
+// ≤1e-6 relative difference on temperatures and energies.
+func TestEngineEquivalence(t *testing.T) {
+	const tol = 1e-6
+	for _, sc := range engineScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			lock := sc.build(EngineLockstep)
+			bat := sc.build(EngineBatched)
+			// Advance in chunks to also exercise Run-boundary clamping.
+			for i := 0; i < 3; i++ {
+				lock.Run(sc.runMS / 3)
+				bat.Run(sc.runMS / 3)
+			}
+			if lock.NowMS() != bat.NowMS() {
+				t.Fatalf("clocks diverged: %d vs %d", lock.NowMS(), bat.NowMS())
+			}
+			if lock.Completions != bat.Completions {
+				t.Errorf("completions: lockstep %d vs batched %d", lock.Completions, bat.Completions)
+			}
+			for prog, n := range lock.CompletionsByProg {
+				if bat.CompletionsByProg[prog] != n {
+					t.Errorf("completions[%s]: %d vs %d", prog, n, bat.CompletionsByProg[prog])
+				}
+			}
+			if lock.MigrationCount() != bat.MigrationCount() {
+				t.Errorf("migrations: %d vs %d", lock.MigrationCount(), bat.MigrationCount())
+			}
+			if lock.Sched.MigrationsByReason != bat.Sched.MigrationsByReason {
+				t.Errorf("migrations by reason: %v vs %v",
+					lock.Sched.MigrationsByReason, bat.Sched.MigrationsByReason)
+			}
+			if len(lock.Migrations) == len(bat.Migrations) {
+				for i := range lock.Migrations {
+					if lock.Migrations[i] != bat.Migrations[i] {
+						t.Errorf("migration %d differs: %+v vs %+v", i, lock.Migrations[i], bat.Migrations[i])
+						break
+					}
+				}
+			} else {
+				t.Errorf("migration event counts: %d vs %d", len(lock.Migrations), len(bat.Migrations))
+			}
+			nCPU := lock.Cfg.Layout.NumLogical()
+			for c := 0; c < nCPU; c++ {
+				cpu := topology.CPUID(c)
+				if lock.haltedTicks[c] != bat.haltedTicks[c] {
+					t.Errorf("cpu %d halted ticks: %d vs %d", c, lock.haltedTicks[c], bat.haltedTicks[c])
+				}
+				if lock.idleTicks[c] != bat.idleTicks[c] {
+					t.Errorf("cpu %d idle ticks: %d vs %d", c, lock.idleTicks[c], bat.idleTicks[c])
+				}
+				if d := relDiff(lock.Sched.Power[c].ThermalPower(), bat.Sched.Power[c].ThermalPower()); d > tol {
+					t.Errorf("cpu %d thermal power rel diff %.2e", c, d)
+				}
+				if lock.ThrottledFrac(cpu) != bat.ThrottledFrac(cpu) {
+					t.Errorf("cpu %d throttled frac: %v vs %v", c, lock.ThrottledFrac(cpu), bat.ThrottledFrac(cpu))
+				}
+			}
+			for core := range lock.nodes {
+				if d := relDiff(lock.CoreTemp(core), bat.CoreTemp(core)); d > tol {
+					t.Errorf("core %d temp rel diff %.2e (%.6f vs %.6f)",
+						core, d, lock.CoreTemp(core), bat.CoreTemp(core))
+				}
+			}
+			if lock.unitNodes != nil {
+				if d := relDiff(lock.MaxUnitTemp(), bat.MaxUnitTemp()); d > tol {
+					t.Errorf("max unit temp rel diff %.2e", d)
+				}
+			}
+			if d := relDiff(lock.WorkDoneMS, bat.WorkDoneMS); d > 1e-9 {
+				t.Errorf("work done rel diff %.2e", d)
+			}
+			// Tasks ended up in identical scheduler states.
+			if lock.Sched.TotalTasks() != bat.Sched.TotalTasks() || len(lock.sleepers) != len(bat.sleepers) {
+				t.Errorf("task states differ: %d/%d runnable, %d/%d asleep",
+					lock.Sched.TotalTasks(), bat.Sched.TotalTasks(), len(lock.sleepers), len(bat.sleepers))
+			}
+			for id, lts := range lock.tasks {
+				bts, ok := bat.tasks[id]
+				if !ok {
+					t.Errorf("task %d missing from batched machine", id)
+					continue
+				}
+				if lts.st.CPU != bts.st.CPU || lts.sleeping != bts.sleeping || lts.wakeAtMS != bts.wakeAtMS {
+					t.Errorf("task %d state: cpu %d/%d sleeping %v/%v wake %d/%d", id,
+						lts.st.CPU, bts.st.CPU, lts.sleeping, bts.sleeping, lts.wakeAtMS, bts.wakeAtMS)
+				}
+				if d := relDiff(lts.st.Profile.Watts(), bts.st.Profile.Watts()); d > tol {
+					t.Errorf("task %d profile rel diff %.2e", id, d)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedEngineMakesProgressInLargeQuanta sanity-checks that the
+// planner actually produces multi-millisecond quanta on an idle machine
+// (the whole point of the engine) by counting steps via the monitor.
+func TestBatchedEngineQuantaAreLarge(t *testing.T) {
+	m := MustNew(Config{
+		Layout: topology.XSeries445NoSMT(),
+		Sched:  sched.DefaultConfig(),
+		Seed:   1,
+	})
+	m.Spawn(catalog().Sshd())
+	steps := 0
+	start := m.NowMS()
+	for m.NowMS() < start+10_000 {
+		m.step(m.maxQuantum)
+		steps++
+	}
+	if avg := 10_000.0 / float64(steps); avg < 5 {
+		t.Errorf("average quantum = %.1f ms; the planner is not batching", avg)
+	}
+}
+
+// TestEngineString covers the Engine stringer.
+func TestEngineString(t *testing.T) {
+	if EngineBatched.String() != "batched" || EngineLockstep.String() != "lockstep" {
+		t.Error("engine names wrong")
+	}
+	if s := Engine(9).String(); s != fmt.Sprintf("engine(%d)", 9) {
+		t.Errorf("unknown engine name %q", s)
+	}
+}
+
+// Regression: the chip-coupling term must be computed from the cores'
+// raw powers, not from already-coupled values of earlier loop
+// iterations — under symmetric load every core of a package must heat
+// identically, regardless of core index.
+func TestCouplingSymmetricUnderSymmetricLoad(t *testing.T) {
+	m := MustNew(Config{
+		Layout:       topology.CMP2x2(),
+		Sched:        sched.BaselineConfig(),
+		Seed:         4,
+		PackageProps: []energyProps{props01(), props01()},
+	})
+	m.SpawnN(catalog().Aluadd(), 4) // one identical task per core
+	m.Run(20_000)
+	for pkg := 0; pkg < 2; pkg++ {
+		a, b := m.CoreTemp(pkg*2), m.CoreTemp(pkg*2+1)
+		if d := math.Abs(a - b); d > 0.05 {
+			t.Errorf("package %d: symmetric load heated cores asymmetrically: %.3f vs %.3f °C", pkg, a, b)
+		}
+	}
+}

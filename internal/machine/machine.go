@@ -1,10 +1,11 @@
 // Package machine is the whole-system simulator: it binds the CPU
 // topology, the synthetic workloads, the event counters, the energy
 // estimator, the thermal model, the throttling mechanism, and the
-// (energy-aware) scheduler into a deterministic tick-driven simulation
-// of the paper's evaluation machine.
+// (energy-aware) scheduler into a deterministic simulation of the
+// paper's evaluation machine.
 //
-// One tick is one millisecond of simulated time. Per tick the machine
+// Simulated time advances in quanta of one or more milliseconds. Per
+// quantum the machine
 //
 //  1. wakes sleeping tasks whose block time elapsed,
 //  2. dispatches tasks on idle CPUs,
@@ -15,7 +16,14 @@
 //     metric and the task profiles; true energy drives the RC thermal
 //     model of each package,
 //  6. handles timeslice expiry, blocking, and completion,
-//  7. periodically runs the balancer and the hot-task-migration check.
+//  7. runs due balancer and hot-task-migration deadlines.
+//
+// Two engines drive that step (see Engine): the lockstep engine fixes
+// the quantum at 1 ms — the classic tick loop — while the default
+// batched engine plans, per step, the largest quantum over which the
+// machine state is provably constant (see batched.go) and integrates it
+// in one pass. The engines produce equivalent results for the same
+// seed; the batched engine is several times faster.
 package machine
 
 import (
@@ -55,10 +63,60 @@ const (
 	ThrottlePerCore
 )
 
+// Engine selects the simulation core that advances the machine.
+type Engine int
+
+const (
+	// EngineBatched is the event-horizon engine (the default): it
+	// computes, per step, the largest quantum dt ≥ 1 ms over which the
+	// machine state is provably constant — bounded by running tasks'
+	// timeslice/phase/noise/block horizons, the earliest sleeper
+	// wake-up, the next balance/hot-check/monitor deadline, predicted
+	// throttle-metric crossings, and MaxQuantumMS — and integrates
+	// work, energy, and temperature analytically over the whole
+	// quantum. Because the workload and thermal substrates are exactly
+	// integrable over constant-rate intervals, the batched engine
+	// reproduces the lockstep engine's results (identical completions,
+	// migrations, and throttle decisions; energies and temperatures
+	// equal up to floating-point rounding) while skipping the
+	// per-millisecond bookkeeping.
+	EngineBatched Engine = iota
+	// EngineLockstep is the classic 1 ms loop: every millisecond of
+	// every logical CPU is simulated individually. It serves as the
+	// reference for cross-engine equivalence tests and as a fallback.
+	EngineLockstep
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineBatched:
+		return "batched"
+	case EngineLockstep:
+		return "lockstep"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// DefaultMaxQuantumMS bounds the batched engine's quantum when no other
+// event horizon is nearer. It caps how long the engine may go without
+// re-evaluating throttle inputs against their closed-form predictions,
+// and bounds the drift window of the conservative unit-temperature
+// horizon.
+const DefaultMaxQuantumMS = 64
+
 // Config describes one simulated machine.
 type Config struct {
 	// Layout is the CPU topology.
 	Layout topology.Layout
+
+	// Engine selects the simulation core; the zero value is the
+	// batched event-horizon engine. EngineLockstep restores the
+	// per-millisecond loop.
+	Engine Engine
+	// MaxQuantumMS caps the batched engine's quantum; 0 selects
+	// DefaultMaxQuantumMS. Ignored by the lockstep engine.
+	MaxQuantumMS int
 	// Sched selects the scheduling policy.
 	Sched sched.Config
 	// Seed drives all randomness.
@@ -194,12 +252,27 @@ type Machine struct {
 	nextID      int
 	rng         *rng.Source
 
+	// Batched-engine state.
+	wheel      *sched.Wheel // deadline wheel for staggered periodic work
+	maxQuantum int64        // resolved MaxQuantumMS
+	hotArmed   bool         // hot-check deadlines can ever act
+
+	// Precomputed per-step constants.
+	idleShareW float64 // true idle power per logical CPU (W)
+	estIdleJ   float64 // estimated idle energy per logical CPU per ms (J)
+	estIdleW   float64 // estimated idle power per logical CPU (W)
+
 	banks      []counters.Bank     // per logical CPU
 	dispatches []dispatch          // per logical CPU
 	nodes      []*thermal.Node     // per physical core
 	throttles  []*thermal.Throttle // per logical, core, or package (see Scope)
-	pkgBudget  []float64           // per package
-	coreBudget []float64           // per core (pkgBudget split across cores)
+	// throttleMembers[i] holds the logical CPUs whose summed thermal
+	// power drives throttles[i]. Precomputed per Scope so the engine's
+	// Engage pass and the batched planner's crossing prediction iterate
+	// provably identical groups (and allocate nothing per step).
+	throttleMembers [][]topology.CPUID
+	pkgBudget       []float64 // per package
+	coreBudget      []float64 // per core (pkgBudget split across cores)
 
 	// §7 unit extension state (nil unless Cfg.UnitThermal).
 	unitNodes     [][]*thermal.Node   // per core × unit hotspot nodes
@@ -211,11 +284,14 @@ type Machine struct {
 
 	prevHalt []bool // per logical CPU: halted last tick (trace edges)
 
-	// scratch buffers reused every tick
+	// scratch buffers reused every step
 	execSpeed       []float64
 	truePower       []float64
-	corePower       []float64 // per-core raw power this tick
+	corePower       []float64 // per-core raw power this step (average W)
+	coreEff         []float64 // per-core power incl. chip coupling this step
+	coreStartTemp   []float64 // per-core temperature at quantum start
 	throttleScratch []bool
+	xbarScratch     []float64 // per-CPU predicted metric feed (W)
 
 	// Metrics.
 	Completions       int64
@@ -299,6 +375,16 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("machine: %d budgets for %d packages", len(cfg.PackageMaxPowerW), nPkg)
 	}
 
+	if cfg.Engine != EngineBatched && cfg.Engine != EngineLockstep {
+		return nil, fmt.Errorf("machine: unknown engine %d", int(cfg.Engine))
+	}
+	if cfg.MaxQuantumMS == 0 {
+		cfg.MaxQuantumMS = DefaultMaxQuantumMS
+	}
+	if cfg.MaxQuantumMS < 1 {
+		return nil, fmt.Errorf("machine: MaxQuantumMS %d out of range", cfg.MaxQuantumMS)
+	}
+
 	nCore := cfg.Layout.NumCores()
 	cores := cfg.Layout.Cores()
 	m := &Machine{
@@ -317,11 +403,17 @@ func New(cfg Config) (*Machine, error) {
 		execSpeed:         make([]float64, nCPU),
 		truePower:         make([]float64, nCPU),
 		corePower:         make([]float64, nCore),
+		coreEff:           make([]float64, nCore),
+		coreStartTemp:     make([]float64, nCore),
+		xbarScratch:       make([]float64, nCPU),
 		CompletionsByProg: make(map[string]int64),
 		idleTicks:         make([]int64, nCPU),
 		haltedTicks:       make([]int64, nCPU),
 		prevHalt:          make([]bool, nCPU),
+		wheel:             sched.NewWheel(cfg.Sched),
+		maxQuantum:        int64(cfg.MaxQuantumMS),
 	}
+	m.hotArmed = cfg.Sched.HotTaskMigration && int64(cfg.Sched.HotCheckPeriodMS) > 0
 
 	// Per-core thermal nodes. A core owns 1/cores of the package heat
 	// sink (R scaled up, C scaled down, time constant preserved) and,
@@ -332,6 +424,9 @@ func New(cfg Config) (*Machine, error) {
 	logicalPerPkg := cores * threads
 	idleShare := model.HaltPower / float64(logicalPerPkg)
 	coupling := 1 + cfg.CoreCoupling*float64(cores-1)
+	m.idleShareW = idleShare
+	m.estIdleJ = est.HaltPower / float64(logicalPerPkg) / 1000 // per ms
+	m.estIdleW = est.HaltPower / float64(logicalPerPkg)
 	for c := 0; c < nCore; c++ {
 		pkg := c / cores
 		props := cfg.PackageProps[pkg]
@@ -356,24 +451,34 @@ func New(cfg Config) (*Machine, error) {
 		m.Sched.Power[c] = profile.NewCPUPower(maxLogical, w, 1, idleShare)
 	}
 
-	// Throttles.
+	// Throttles, with their member CPU groups.
 	if cfg.ThrottleEnabled {
 		switch cfg.Scope {
 		case ThrottlePerLogical:
 			m.throttles = make([]*thermal.Throttle, nCPU)
+			m.throttleMembers = make([][]topology.CPUID, nCPU)
 			for c := 0; c < nCPU; c++ {
 				core := cfg.Layout.Core(topology.CPUID(c))
 				m.throttles[c] = &thermal.Throttle{LimitW: m.coreBudget[core] / float64(threads)}
+				m.throttleMembers[c] = []topology.CPUID{topology.CPUID(c)}
 			}
 		case ThrottlePerCore:
 			m.throttles = make([]*thermal.Throttle, nCore)
+			m.throttleMembers = make([][]topology.CPUID, nCore)
 			for c := 0; c < nCore; c++ {
 				m.throttles[c] = &thermal.Throttle{LimitW: m.coreBudget[c]}
+				members := make([]topology.CPUID, threads)
+				for t := 0; t < threads; t++ {
+					members[t] = cfg.Layout.CPUOfCore(c, t)
+				}
+				m.throttleMembers[c] = members
 			}
 		case ThrottlePerPackage:
 			m.throttles = make([]*thermal.Throttle, nPkg)
+			m.throttleMembers = make([][]topology.CPUID, nPkg)
 			for p := 0; p < nPkg; p++ {
 				m.throttles[p] = &thermal.Throttle{LimitW: budget[p]}
+				m.throttleMembers[p] = cfg.Layout.PackageCPUs(p)
 			}
 		default:
 			return nil, fmt.Errorf("machine: unknown throttle scope %d", cfg.Scope)

@@ -178,6 +178,62 @@ func (c *CPUPower) AddEnergy(energyJ, periodMS float64) {
 // ThermalPower returns the thermal-power metric in W.
 func (c *CPUPower) ThermalPower() float64 { return c.thermal.Value() }
 
+// RetentionPerMS returns the fraction of the thermal-power metric that
+// survives one millisecond of updates: feeding a constant sample x for n
+// milliseconds yields exactly
+//
+//	v_n = x + (v_0 − x)·RetentionPerMS()^n.
+//
+// The batched engine uses this geometric form to predict, in closed
+// form, the millisecond at which the metric will cross a throttle
+// threshold.
+func (c *CPUPower) RetentionPerMS() float64 { return 1 - c.thermal.WeightFor(1) }
+
+// CrossSteps returns the smallest n ≥ 1 such that the geometric
+// relaxation v_n = target + (v0 − target)·retain^n crosses threshold:
+// v_n ≥ threshold when rising, v_n < threshold when falling. It returns
+// ok = false when the asymptote never reaches the threshold (the value
+// relaxes away from it, or exactly onto it). retain must lie in (0, 1).
+//
+// This is the planner's event-horizon solver for throttle decisions:
+// while a CPU's power input is constant, its thermal-power metric
+// follows this geometric curve exactly, so the first millisecond at
+// which a throttle would engage (rising through its limit) or disengage
+// (falling below limit − hysteresis) is computable without stepping.
+func CrossSteps(v0, target, retain, threshold float64, rising bool) (int64, bool) {
+	if retain <= 0 || retain >= 1 {
+		return 0, false
+	}
+	if rising {
+		if v0 >= threshold {
+			return 1, true
+		}
+		if target <= threshold {
+			return 0, false // asymptote below (or at) the threshold
+		}
+		// retain^n ≤ (target−threshold)/(target−v0), both sides in (0,1).
+		ratio := (target - threshold) / (target - v0)
+		n := int64(math.Ceil(math.Log(ratio) / math.Log(retain)))
+		if n < 1 {
+			n = 1
+		}
+		return n, true
+	}
+	if v0 < threshold {
+		return 1, true
+	}
+	if target >= threshold {
+		return 0, false // asymptote above (or at) the threshold
+	}
+	// retain^n < (threshold−target)/(v0−target).
+	ratio := (threshold - target) / (v0 - target)
+	n := int64(math.Floor(math.Log(ratio)/math.Log(retain))) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n, true
+}
+
 // ThermalRatio returns thermal power / maximum power (§4.3). A ratio of
 // 1 means the CPU has reached its temperature limit.
 func (c *CPUPower) ThermalRatio() float64 {

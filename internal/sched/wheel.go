@@ -1,0 +1,105 @@
+package sched
+
+import "math"
+
+// Stagger offsets of the periodic scheduler work, in milliseconds per
+// CPU index. The original lockstep loop spread the per-CPU balancer and
+// hot-check invocations with these offsets via modulo checks on every
+// tick; the deadline wheel computes the same instants directly so the
+// batched engine can jump straight to the next one.
+const (
+	// BalanceStaggerMS staggers the periodic balancer across CPUs.
+	BalanceStaggerMS = 7
+	// HotStaggerMS staggers the hot-task-migration checks across CPUs.
+	HotStaggerMS = 3
+	// IdlePullPeriodMS is the interval at which an idle CPU attempts to
+	// pull work (Linux-style idle rebalance), staggered by the CPU
+	// index itself.
+	IdlePullPeriodMS = 10
+)
+
+// NoDeadline is returned when a deadline class is disabled.
+const NoDeadline = int64(math.MaxInt64)
+
+// Wheel is the per-CPU deadline wheel for the scheduler's staggered
+// periodic work: periodic balancing, hot-task checks, and idle pulls.
+// Each class of work for CPU c is due at every time T with
+//
+//	(T + stagger·c) mod period == 0,
+//
+// exactly the instants the 1 ms lockstep loop hits with its per-tick
+// modulo checks. The wheel answers two questions: "is CPU c due at T?"
+// (driving the shared engine step) and "when is the next deadline at or
+// after T?" (driving the batched engine's quantum planner).
+type Wheel struct {
+	balP int64
+	hotP int64
+}
+
+// NewWheel builds the wheel from the policy's periods (fractional
+// periods are truncated to whole milliseconds, as the lockstep loop
+// always did).
+func NewWheel(cfg Config) *Wheel {
+	return &Wheel{balP: int64(cfg.BalancePeriodMS), hotP: int64(cfg.HotCheckPeriodMS)}
+}
+
+// nextAt returns the smallest T ≥ now with (T + off) mod period == 0.
+func nextAt(now, period, off int64) int64 {
+	r := (now + off) % period
+	if r == 0 {
+		return now
+	}
+	return now + period - r
+}
+
+// BalanceDue reports whether CPU cpu's periodic balance is due at now.
+func (w *Wheel) BalanceDue(now int64, cpu int) bool {
+	return w.balP > 0 && (now+int64(cpu)*BalanceStaggerMS)%w.balP == 0
+}
+
+// HotDue reports whether CPU cpu's hot-task check is due at now.
+func (w *Wheel) HotDue(now int64, cpu int) bool {
+	return w.hotP > 0 && (now+int64(cpu)*HotStaggerMS)%w.hotP == 0
+}
+
+// IdlePullDue reports whether CPU cpu's idle pull is due at now.
+func (w *Wheel) IdlePullDue(now int64, cpu int) bool {
+	return (now+int64(cpu))%IdlePullPeriodMS == 0
+}
+
+// NextBalance returns the next time ≥ now at which CPU cpu's periodic
+// balance is due, or NoDeadline when balancing is disabled.
+func (w *Wheel) NextBalance(now int64, cpu int) int64 {
+	if w.balP <= 0 {
+		return NoDeadline
+	}
+	return nextAt(now, w.balP, int64(cpu)*BalanceStaggerMS)
+}
+
+// NextHot returns the next time ≥ now at which CPU cpu's hot-task check
+// is due, or NoDeadline when hot checks are disabled.
+func (w *Wheel) NextHot(now int64, cpu int) int64 {
+	if w.hotP <= 0 {
+		return NoDeadline
+	}
+	return nextAt(now, w.hotP, int64(cpu)*HotStaggerMS)
+}
+
+// NextIdlePull returns the next time ≥ now at which CPU cpu's idle pull
+// is due.
+func (w *Wheel) NextIdlePull(now int64, cpu int) int64 {
+	return nextAt(now, IdlePullPeriodMS, int64(cpu))
+}
+
+// TotalQueued returns the number of waiting (non-running) tasks across
+// all runqueues. When zero, every balancing pass — periodic, idle pull,
+// and unit exchange alike — is provably a no-op (there is nothing to
+// pull or swap), so the batched engine's planner skips balance deadlines
+// entirely and lets quanta run to the next real event.
+func (s *Scheduler) TotalQueued() int {
+	n := 0
+	for _, rq := range s.RQs {
+		n += len(rq.Queued())
+	}
+	return n
+}

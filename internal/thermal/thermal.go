@@ -92,6 +92,22 @@ func (n *Node) Step(power, dtMS float64) {
 	n.TempC = steady + (n.TempC-steady)*decay
 }
 
+// StepExact advances the model by dtMS milliseconds at constant power.
+// It is identical to Step and exists to make the contract explicit for
+// the batched simulation engine: because Step integrates the RC network
+// in closed form, one StepExact over dt milliseconds equals dt
+// consecutive 1 ms steps at the same power (up to floating-point
+// rounding in the exponential). Batching over constant-power quanta is
+// therefore exact, not an approximation.
+func (n *Node) StepExact(power, dtMS float64) { n.Step(power, dtMS) }
+
+// DecayPerMS returns the node's per-millisecond temperature retention
+// factor e^(−1ms/RC) — the geometric ratio of its discrete 1 ms
+// relaxation sequence, used by the batched engine's closed forms.
+func (p Properties) DecayPerMS() float64 {
+	return math.Exp(-0.001 / p.TimeConstant())
+}
+
 // Diode models the on-chip thermal diode: quantized output and a slow
 // read (the paper cites several milliseconds via the system management
 // bus [8]).
@@ -148,7 +164,17 @@ const Hysteresis = 0.25
 // Decide updates the throttle state for one tick given the CPU's current
 // thermal power and returns true if the CPU must halt this tick.
 func (t *Throttle) Decide(thermalPowerW float64) bool {
-	t.TotalTicks++
+	h := t.Engage(thermalPowerW)
+	t.Account(1)
+	return h
+}
+
+// Engage updates the engaged state from the current metric value and
+// returns whether the CPU must halt, without advancing the tick
+// accounting. The batched engine makes one Engage decision per quantum
+// (the quantum planner guarantees the decision cannot flip inside the
+// quantum) and accounts the quantum's ticks separately with Account.
+func (t *Throttle) Engage(thermalPowerW float64) bool {
 	if t.LimitW <= 0 { // throttling disabled
 		return false
 	}
@@ -159,10 +185,19 @@ func (t *Throttle) Decide(thermalPowerW float64) bool {
 	} else if thermalPowerW >= t.LimitW {
 		t.engaged = true
 	}
-	if t.engaged {
-		t.HaltedTicks++
-	}
 	return t.engaged
+}
+
+// Engaged reports whether the throttle is currently engaged.
+func (t *Throttle) Engaged() bool { return t.engaged && t.LimitW > 0 }
+
+// Account advances the tick accounting by dtMS milliseconds spent in the
+// current engaged state.
+func (t *Throttle) Account(dtMS int64) {
+	t.TotalTicks += dtMS
+	if t.engaged && t.LimitW > 0 {
+		t.HaltedTicks += dtMS
+	}
 }
 
 // ThrottledFrac returns the fraction of observed ticks spent halted —
@@ -269,4 +304,35 @@ func (n *Node) StepOver(power, dtMS, referenceC float64) {
 	steady := referenceC + n.Props.R*power
 	decay := math.Exp(-dtMS / 1000 / n.Props.TimeConstant())
 	n.TempC = steady + (n.TempC-steady)*decay
+}
+
+// StepOverBatched advances the node by dtMS milliseconds against a
+// reference temperature that itself relaxes geometrically — the closed
+// form of dtMS consecutive 1 ms StepOver calls where the k-th call sees
+// the reference at
+//
+//	ref_k = refSteadyC + (refStartC − refSteadyC)·refDecayPerMS^k.
+//
+// This is exactly the batched equivalent of the lockstep engine's
+// "step the core node, then step its unit hotspots against the new core
+// temperature" sequence: summing the geometric series
+//
+//	T(n) = a^n·T(0) + (1−a^n)(S_ref + R·P)
+//	     + (1−a)(refStart − S_ref)·d·(d^n − a^n)/(d − a)
+//
+// with a the hotspot's own per-ms retention and d = refDecayPerMS. The
+// degenerate case d == a uses the limit n·a^n.
+func (n *Node) StepOverBatched(power float64, dtMS int64, refStartC, refSteadyC, refDecayPerMS float64) {
+	a1 := n.Props.DecayPerMS()
+	fn := float64(dtMS)
+	an := math.Pow(a1, fn)
+	dn := math.Pow(refDecayPerMS, fn)
+	target := refSteadyC + n.Props.R*power
+	var refTerm float64
+	if diff := refDecayPerMS - a1; math.Abs(diff) > 1e-12 {
+		refTerm = refDecayPerMS * (dn - an) / diff
+	} else {
+		refTerm = fn * an
+	}
+	n.TempC = an*n.TempC + (1-an)*target + (1-a1)*(refStartC-refSteadyC)*refTerm
 }

@@ -107,6 +107,27 @@ func Split(w energy.Weights, delta counters.Counts) Energies {
 	return out
 }
 
+// SplitExact is Split over exact (fractional) event counts, used by the
+// simulation engines when attributing a quantum's energy to functional
+// units without integer-rounding ripple.
+func SplitExact(w energy.Weights, delta counters.Frac) Energies {
+	var out Energies
+	for ev := 0; ev < int(counters.NumEvents); ev++ {
+		e := w[ev] * delta[ev]
+		if e == 0 {
+			continue
+		}
+		if counters.Event(ev) == counters.Cycles {
+			for u := Kind(0); u < NumUnits; u++ {
+				out[u] += e * staticShare[u]
+			}
+			continue
+		}
+		out[unitOfEvent[ev]] += e
+	}
+	return out
+}
+
 // Profile is a task's per-unit energy profile: the expected power each
 // functional unit will draw during the task's next timeslice, tracked
 // with the same variable-period exponential average as the scalar

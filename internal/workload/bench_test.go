@@ -12,7 +12,7 @@ func BenchmarkTaskTick(b *testing.B) {
 	task := NewTask(1, c.Bzip2(), rng.New(1))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		task.Tick(1)
+		task.Tick(1, 1)
 	}
 }
 
@@ -21,6 +21,6 @@ func BenchmarkTaskTickStatic(b *testing.B) {
 	task := NewTask(1, c.Bitcnts(), rng.New(1))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		task.Tick(1)
+		task.Tick(1, 1)
 	}
 }

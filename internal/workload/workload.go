@@ -14,10 +14,20 @@
 // through event counters — so matching the published per-program powers
 // and phase variability reproduces everything the scheduling policy can
 // react to.
+//
+// All stochastic processes of a task (phase durations, noise epochs,
+// block points) are indexed by *executed work*, not by wall-clock ticks.
+// This makes Tick partition-invariant: executing a task for dt
+// milliseconds in one call produces exactly the same state, random-number
+// consumption, and cumulative event counts as executing it in any
+// sequence of calls summing to dt. The batched simulation engine depends
+// on this property for its cross-engine equivalence with the 1 ms
+// lockstep engine.
 package workload
 
 import (
 	"fmt"
+	"math"
 
 	"energysched/internal/counters"
 	"energysched/internal/rng"
@@ -34,10 +44,15 @@ type Phase struct {
 	// lengths depend on input data, §3.1).
 	MeanDurMS float64
 	// NoiseFrac is the 1-sigma relative noise applied to dynamic event
-	// rates each millisecond within the phase.
+	// rates. Noise is redrawn at phase entry and every NoiseEpochMS
+	// executed milliseconds, modeling the input-dependent rate drift
+	// within a phase.
 	NoiseFrac float64
 	// BlockProbPerMS is the probability per executed millisecond that
-	// the task blocks (waits for I/O or input).
+	// the task blocks (waits for I/O or input). Block points are drawn
+	// ahead as exponentially distributed executed-work distances, which
+	// preserves the per-millisecond blocking rate while keeping the
+	// process independent of how execution is partitioned into calls.
 	BlockProbPerMS float64
 	// MeanBlockMS is the mean blocking duration when a block occurs.
 	MeanBlockMS float64
@@ -46,6 +61,13 @@ type Phase struct {
 	// this phase forever".
 	Next []int
 }
+
+// NoiseEpochMS is the executed-work interval between noise redraws
+// within a phase. Successive standard timeslices then average a handful
+// of noise epochs, keeping the Table 1 successive-timeslice variability
+// in the published ballpark while letting the batched engine advance in
+// multi-millisecond quanta between rate changes.
+const NoiseEpochMS = 250.0
 
 // Program is a static description of an executable, shared by all task
 // instances started from the same binary.
@@ -85,26 +107,34 @@ func (p *Program) Validate() error {
 	return nil
 }
 
-// Status describes what a task did during one simulated millisecond.
+// Status describes what a task did during one executed interval.
 type Status int
 
 const (
-	// Ran: the task executed for the whole millisecond.
+	// Ran: the task executed for the whole interval.
 	Ran Status = iota
-	// Blocked: the task gave up the CPU to wait; BlockMS tells for how
-	// long.
+	// Blocked: the task gave up the CPU to wait at the end of the
+	// interval; BlockMS tells for how long.
 	Blocked
-	// Finished: the task completed its work during this millisecond.
+	// Finished: the task completed its work during this interval.
 	Finished
 )
 
-// TickResult reports the outcome of one executed millisecond.
+// TickResult reports the outcome of one executed interval.
 type TickResult struct {
 	// Status is what the task did.
 	Status Status
-	// Counts are the events the task generated on its CPU during the
-	// millisecond (scaled by the speed factor).
+	// Counts are the integer events the task generated on its CPU
+	// during the interval (scaled by the speed factor). Emission uses a
+	// cumulative floor accumulator, so summing the Counts of any
+	// partition of an interval yields exactly the Counts of the whole
+	// interval — the property the counter Banks rely on.
 	Counts counters.Counts
+	// Exact are the exact (fractional) events of the interval, before
+	// integer emission. The machine's thermal model and thermal-power
+	// metric integrate Exact so that a quantum's average power does not
+	// depend on integer rounding boundaries.
+	Exact counters.Frac
 	// BlockMS is the sleep duration when Status == Blocked.
 	BlockMS float64
 }
@@ -121,6 +151,13 @@ type Task struct {
 	phase     int
 	phaseLeft float64 // executed ms remaining in current phase
 	doneWork  float64 // executed ms so far (at speed 1)
+
+	noise     float64 // current noise multiplier for dynamic events
+	noiseLeft float64 // executed ms until the next noise redraw (+Inf when noiseless)
+	runLeft   float64 // executed ms until the next block point (+Inf when non-blocking)
+
+	cum     counters.Frac   // cumulative exact event counts since start
+	emitted counters.Counts // integer counts already reported via TickResult
 }
 
 // NewTask instantiates a program. Each task gets its own random stream
@@ -128,14 +165,45 @@ type Task struct {
 func NewTask(id int, p *Program, r *rng.Source) *Task {
 	t := &Task{ID: id, Prog: p, rng: r, phase: 0}
 	t.phaseLeft = t.drawDuration(p.Phases[0])
+	t.redrawNoise(&p.Phases[0])
+	t.redrawRunLeft(&p.Phases[0])
 	return t
 }
 
 func (t *Task) drawDuration(ph Phase) float64 {
 	if ph.MeanDurMS <= 0 {
-		return 0 // re-drawn on first tick; treated as immediate transition
+		return 0 // treated as an immediate transition on the next tick
 	}
 	return ph.MeanDurMS * t.rng.ExpFloat64()
+}
+
+// redrawNoise samples the phase's rate-noise multiplier for the next
+// noise epoch. Noiseless phases run at exactly their nominal rates.
+func (t *Task) redrawNoise(ph *Phase) {
+	if ph.NoiseFrac <= 0 {
+		t.noise = 1
+		t.noiseLeft = math.Inf(1)
+		return
+	}
+	n := 1 + ph.NoiseFrac*t.rng.NormFloat64()
+	if n < 0 {
+		n = 0
+	}
+	t.noise = n
+	t.noiseLeft = NoiseEpochMS
+}
+
+// redrawRunLeft samples the executed-work distance to the phase's next
+// block point. An exponential distance with rate BlockProbPerMS gives
+// the same per-millisecond blocking probability as a Bernoulli draw per
+// executed millisecond, but consumes randomness at progress points
+// rather than at wall ticks.
+func (t *Task) redrawRunLeft(ph *Phase) {
+	if ph.BlockProbPerMS <= 0 {
+		t.runLeft = math.Inf(1)
+		return
+	}
+	t.runLeft = t.rng.ExpFloat64() / ph.BlockProbPerMS
 }
 
 // Phase returns the index of the task's current phase.
@@ -159,61 +227,140 @@ func (t *Task) Remaining() float64 {
 	return rem
 }
 
-// Tick executes the task for one millisecond at the given speed factor
-// (1.0 = exclusive use of a full core; lower when sharing a core with an
-// SMT sibling or refilling caches after a migration). It returns the
-// events generated and whether the task ran, blocked, or finished.
-func (t *Task) Tick(speed float64) TickResult {
+// RateHorizonMS returns the executed milliseconds until the task's
+// event rates next change (phase transition or noise redraw), possibly
+// +Inf. Within this horizon the task's power is exactly constant, which
+// the batched engine exploits to integrate whole quanta analytically.
+func (t *Task) RateHorizonMS() float64 {
+	return math.Min(t.phaseLeft, t.noiseLeft)
+}
+
+// StopHorizonMS returns the executed milliseconds until the task stops
+// executing (block point or work completion), possibly +Inf.
+func (t *Task) StopHorizonMS() float64 {
+	h := t.runLeft
+	if h < 0 {
+		h = 0
+	}
+	if t.Prog.WorkMS > 0 {
+		if wl := t.Prog.WorkMS - t.doneWork; wl < h {
+			h = wl
+		}
+	}
+	return h
+}
+
+// EffectiveRates returns the task's current event rates per executed
+// millisecond with the active noise multiplier applied — the rates the
+// next executed interval will accrue until the rate horizon.
+func (t *Task) EffectiveRates() counters.Rates {
+	r := t.Prog.Phases[t.phase].Rates
+	if t.noise != 1 {
+		for i := range r {
+			if counters.Event(i) != counters.Cycles {
+				r[i] *= t.noise
+			}
+		}
+	}
+	return r
+}
+
+// Tick executes the task for dtMS wall milliseconds at the given speed
+// factor (1.0 = exclusive use of a full core; lower when sharing a core
+// with an SMT sibling or refilling caches after a migration). It returns
+// the events generated and whether the task ran, blocked, or finished.
+//
+// The executed work speed·dtMS is integrated piecewise across phase
+// boundaries, noise epochs, and block points, so the result is
+// independent of how a simulated interval is partitioned into Tick
+// calls — provided the caller honors the Blocked status (stops
+// executing the task until it is re-dispatched), as both simulation
+// engines do; a caller that keeps Ticking past a block observes one
+// block per call rather than one per crossing. Block and finish take
+// effect at the end of the interval: the caller that wants them to land
+// on the same wall millisecond as a 1 ms lockstep must not let the
+// interval extend beyond the millisecond in which StopHorizonMS is
+// reached.
+func (t *Task) Tick(speed, dtMS float64) TickResult {
 	if speed <= 0 || speed > 1 {
 		panic(fmt.Sprintf("workload: invalid speed factor %v", speed))
 	}
-	ph := &t.Prog.Phases[t.phase]
-
-	// Event generation: all rates — including cycles, and with them the
-	// static power folded into the cycles weight — scale with the speed
-	// factor. An SMT thread sharing its core's issue slots with a busy
-	// sibling gets proportionally fewer of everything, which keeps the
-	// package power of two contending threads at ~1.24× a solo thread
-	// rather than 2×, matching real SMT behaviour. Per-tick noise
-	// applies to the dynamic events only.
-	rates := ph.Rates
-	if ph.NoiseFrac > 0 {
-		noise := 1 + ph.NoiseFrac*t.rng.NormFloat64()
-		if noise < 0 {
-			noise = 0
+	if dtMS <= 0 {
+		panic(fmt.Sprintf("workload: invalid tick duration %v", dtMS))
+	}
+	prev := t.cum
+	exec := speed * dtMS
+	blocked := false
+	blockMS := 0.0
+	for {
+		ph := &t.Prog.Phases[t.phase]
+		if t.phaseLeft <= 0 {
+			t.advancePhase()
+			continue
 		}
-		for i := range rates {
-			if counters.Event(i) == counters.Cycles {
+		if exec <= 0 {
+			break
+		}
+		seg := exec
+		if t.phaseLeft < seg {
+			seg = t.phaseLeft
+		}
+		if t.noiseLeft < seg {
+			seg = t.noiseLeft
+		}
+		if !blocked && t.runLeft < seg {
+			seg = t.runLeft
+		}
+		for i, r := range ph.Rates {
+			if r == 0 {
 				continue
 			}
-			rates[i] *= noise
+			if counters.Event(i) != counters.Cycles {
+				r *= t.noise
+			}
+			t.cum[i] += r * seg
+		}
+		t.doneWork += seg
+		t.phaseLeft -= seg
+		t.noiseLeft -= seg
+		if !blocked {
+			// Once the block point is crossed the task is conceptually
+			// stopped; the tail of the interval (the remainder of the
+			// crossing millisecond) does not consume the freshly drawn
+			// next block distance.
+			t.runLeft -= seg
+		}
+		exec -= seg
+		if t.runLeft <= 0 && !blocked && ph.BlockProbPerMS > 0 {
+			// Block point crossed: the task yields at the end of this
+			// interval. Duration and the next block distance are drawn
+			// here, at the crossing's progress point, so the random
+			// stream advances identically for any partitioning.
+			blocked = true
+			blockMS = ph.MeanBlockMS * t.rng.ExpFloat64()
+			if blockMS < 1 {
+				blockMS = 1
+			}
+			t.redrawRunLeft(ph)
+		}
+		if t.phaseLeft > 0 && t.noiseLeft <= 0 {
+			t.redrawNoise(ph)
 		}
 	}
-	if speed < 1 {
-		rates = rates.Scale(speed)
+	res := TickResult{Status: Ran}
+	for i := range t.cum {
+		res.Exact[i] = t.cum[i] - prev[i]
+		total := uint64(t.cum[i])
+		res.Counts[i] = total - t.emitted[i]
+		t.emitted[i] = total
 	}
-	res := TickResult{Status: Ran, Counts: rates.Counts(1)}
-
-	// Progress accounting.
-	t.doneWork += speed
-	t.phaseLeft -= speed
 	if t.Prog.WorkMS > 0 && t.doneWork >= t.Prog.WorkMS {
 		res.Status = Finished
 		return res
 	}
-
-	// Phase transition.
-	if t.phaseLeft <= 0 {
-		t.advancePhase()
-	}
-
-	// Blocking.
-	if ph.BlockProbPerMS > 0 && t.rng.Bool(ph.BlockProbPerMS) {
+	if blocked {
 		res.Status = Blocked
-		res.BlockMS = ph.MeanBlockMS * t.rng.ExpFloat64()
-		if res.BlockMS < 1 {
-			res.BlockMS = 1
-		}
+		res.BlockMS = blockMS
 	}
 	return res
 }
@@ -227,12 +374,16 @@ func (t *Task) advancePhase() {
 		if t.phaseLeft <= 0 {
 			t.phaseLeft = 1
 		}
+		t.redrawNoise(ph)
 		return
 	}
 	next := ph.Next[t.rng.Intn(len(ph.Next))]
 	t.phase = next
-	t.phaseLeft = t.drawDuration(t.Prog.Phases[next])
+	nph := &t.Prog.Phases[next]
+	t.phaseLeft = t.drawDuration(*nph)
 	if t.phaseLeft <= 0 {
 		t.phaseLeft = 1
 	}
+	t.redrawNoise(nph)
+	t.redrawRunLeft(nph)
 }

@@ -103,7 +103,7 @@ func TestTaskRunsAndGeneratesEvents(t *testing.T) {
 	task := NewTask(1, c.Bitcnts(), rng.New(1))
 	var total counters.Counts
 	for i := 0; i < 100; i++ {
-		res := task.Tick(1)
+		res := task.Tick(1, 1)
 		if res.Status != Ran {
 			t.Fatalf("tick %d: status %v", i, res.Status)
 		}
@@ -125,8 +125,8 @@ func TestTaskSpeedScalesEventsAndWork(t *testing.T) {
 	half := NewTask(2, c.Aluadd(), rng.New(2))
 	var fullUops, halfUops uint64
 	for i := 0; i < 200; i++ {
-		fullUops += full.Tick(1).Counts[counters.UopsRetired]
-		halfUops += half.Tick(0.5).Counts[counters.UopsRetired]
+		fullUops += full.Tick(1, 1).Counts[counters.UopsRetired]
+		halfUops += half.Tick(0.5, 1).Counts[counters.UopsRetired]
 	}
 	ratio := float64(halfUops) / float64(fullUops)
 	if math.Abs(ratio-0.5) > 0.05 {
@@ -138,8 +138,8 @@ func TestTaskSpeedScalesEventsAndWork(t *testing.T) {
 	// Cycles (and with them the static power share) scale with speed
 	// too: a thread that gets half the issue slots draws half the
 	// power.
-	c1 := NewTask(3, c.Aluadd(), rng.New(3)).Tick(0.5).Counts[counters.Cycles]
-	c2 := NewTask(4, c.Aluadd(), rng.New(3)).Tick(1).Counts[counters.Cycles]
+	c1 := NewTask(3, c.Aluadd(), rng.New(3)).Tick(0.5, 1).Counts[counters.Cycles]
+	c2 := NewTask(4, c.Aluadd(), rng.New(3)).Tick(1, 1).Counts[counters.Cycles]
 	if c1*2 != c2 {
 		t.Fatalf("cycles did not scale with speed: %d vs %d", c1, c2)
 	}
@@ -155,7 +155,7 @@ func TestTaskInvalidSpeedPanics(t *testing.T) {
 					t.Errorf("speed %v did not panic", s)
 				}
 			}()
-			task.Tick(s)
+			task.Tick(s, 1)
 		}()
 	}
 }
@@ -166,7 +166,7 @@ func TestFiniteWorkFinishes(t *testing.T) {
 	task := NewTask(1, p, rng.New(4))
 	finished := false
 	for i := 0; i < 60; i++ {
-		if task.Tick(1).Status == Finished {
+		if task.Tick(1, 1).Status == Finished {
 			finished = true
 			if i != 49 {
 				t.Fatalf("finished at tick %d, want 49", i)
@@ -190,7 +190,7 @@ func TestOpensslCyclesThroughPhases(t *testing.T) {
 	task := NewTask(1, c.Openssl(), rng.New(6))
 	seen := map[string]bool{}
 	for i := 0; i < 120000; i++ {
-		task.Tick(1)
+		task.Tick(1, 1)
 		seen[task.PhaseName()] = true
 	}
 	for _, want := range []string{"setup", "md5", "sha", "des", "aes", "rsa"} {
@@ -205,7 +205,7 @@ func TestInteractiveTasksBlock(t *testing.T) {
 	task := NewTask(1, c.Bash(), rng.New(7))
 	blocks := 0
 	for i := 0; i < 5000; i++ {
-		res := task.Tick(1)
+		res := task.Tick(1, 1)
 		if res.Status == Blocked {
 			blocks++
 			if res.BlockMS < 1 {
@@ -222,7 +222,7 @@ func TestStaticProgramsDontBlock(t *testing.T) {
 	c, _ := testCatalog()
 	task := NewTask(1, c.Bitcnts(), rng.New(8))
 	for i := 0; i < 5000; i++ {
-		if res := task.Tick(1); res.Status != Ran {
+		if res := task.Tick(1, 1); res.Status != Ran {
 			t.Fatalf("bitcnts status %v at tick %d", res.Status, i)
 		}
 	}
@@ -233,7 +233,7 @@ func TestDeterministicReplay(t *testing.T) {
 	a := NewTask(1, c.Bzip2(), rng.New(99))
 	b := NewTask(1, c.Bzip2(), rng.New(99))
 	for i := 0; i < 10000; i++ {
-		ra, rb := a.Tick(1), b.Tick(1)
+		ra, rb := a.Tick(1, 1), b.Tick(1, 1)
 		if ra != rb {
 			t.Fatalf("replay diverged at tick %d", i)
 		}
@@ -250,7 +250,7 @@ func slicePowers(t *testing.T, p *Program, m *energy.TrueModel, slices int, seed
 		var cnt counters.Counts
 		ran := 0
 		for ms := 0; ms < 100; ms++ {
-			res := task.Tick(1)
+			res := task.Tick(1, 1)
 			cnt = cnt.Add(res.Counts)
 			ran++
 			if res.Status == Blocked {
@@ -373,7 +373,7 @@ func TestHttpdMostlyBlocked(t *testing.T) {
 	task := NewTask(1, c.Httpd(), rng.New(11))
 	blocks := 0
 	for i := 0; i < 20000; i++ {
-		if task.Tick(1).Status == Blocked {
+		if task.Tick(1, 1).Status == Blocked {
 			blocks++
 		}
 	}
@@ -387,7 +387,7 @@ func TestGccCyclesPhases(t *testing.T) {
 	task := NewTask(1, c.Gcc(), rng.New(12))
 	seen := map[string]bool{}
 	for i := 0; i < 30000; i++ {
-		task.Tick(1)
+		task.Tick(1, 1)
 		seen[task.PhaseName()] = true
 	}
 	for _, want := range []string{"parse", "optimize", "emit"} {
