@@ -37,7 +37,10 @@ func BenchmarkTable1SuccessiveTimeslices(b *testing.B) {
 // metric: bitcnts power (paper: 61 W).
 func BenchmarkTable2ProgramPowers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := energysched.ReproduceTable2(2006, 60_000)
+		rows, err := energysched.ReproduceTable2(2006, 60_000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			if r.Program == "bitcnts" {
 				b.ReportMetric((r.MinWatts+r.MaxWatts)/2, "bitcnts-W")
@@ -53,7 +56,10 @@ func BenchmarkTable3ThrottlePercent(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultTable3Config()
 		cfg.WarmupMS, cfg.MeasureMS = 60_000, 240_000
-		res := experiments.Table3(cfg)
+		res, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.AvgDisabled*100, "avg-disabled-%")
 		b.ReportMetric(res.AvgEnabled*100, "avg-enabled-%")
 		b.ReportMetric(res.ThroughputGain*100, "throughput-gain-%")

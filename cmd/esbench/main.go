@@ -1,0 +1,155 @@
+// Command esbench records the repository's performance trajectory: it
+// runs the simulation-engine benchmarks — the exact scenario set of
+// BenchmarkEngines and BenchmarkLargeTopology, shared via
+// internal/machine/benchscen — against every engine and writes the
+// results as a JSON document, one file per day:
+//
+//	BENCH_2026-01-31.json
+//
+// Committing the file after perf-relevant changes gives the repo a
+// reviewable ns/op history; CI runs the one-iteration smoke variant on
+// every push and uploads the JSON as an artifact.
+//
+// Usage:
+//
+//	esbench [-quick] [-time 1s] [-out FILE] [-engines lockstep,batched,async]
+//
+// -quick runs every benchmark for a single iteration (the CI smoke
+// mode); otherwise each benchmark repeats until -time has elapsed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"energysched/internal/machine"
+	"energysched/internal/machine/benchscen"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name string `json:"name"`
+	// Engine is the simulation engine the benchmark ran on.
+	Engine string `json:"engine"`
+	// Iterations is the number of timed simulation chunks.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall nanoseconds per simulated chunk.
+	NsPerOp float64 `json:"ns_per_op"`
+	// SimChunkMS is the simulated milliseconds per chunk.
+	SimChunkMS int64 `json:"sim_chunk_ms"`
+	// CPUMSPerS is simulated CPU-milliseconds per wall second — the
+	// throughput metric the engine benchmarks report.
+	CPUMSPerS float64 `json:"cpu_ms_per_s"`
+}
+
+// Report is the document esbench writes.
+type Report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	Quick      bool     `json:"quick"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// measure runs one scenario on one engine: warm up, then repeat timed
+// chunks until minTime has elapsed (at least once).
+func measure(sc benchscen.Scenario, e machine.Engine, minTime time.Duration) Result {
+	m := sc.New(e)
+	m.Run(sc.WarmupMS)
+	nCPU := float64(m.Cfg.Layout.NumLogical())
+	iters := 0
+	var elapsed time.Duration
+	start := time.Now()
+	for elapsed < minTime || iters == 0 {
+		m.Run(sc.SimChunkMS)
+		iters++
+		elapsed = time.Since(start)
+	}
+	return Result{
+		Name:       sc.Name,
+		Engine:     e.String(),
+		Iterations: iters,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(iters),
+		SimChunkMS: sc.SimChunkMS,
+		CPUMSPerS:  float64(iters) * float64(sc.SimChunkMS) * nCPU / elapsed.Seconds(),
+	}
+}
+
+func parseEngines(s string) ([]machine.Engine, error) {
+	var out []machine.Engine
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "lockstep":
+			out = append(out, machine.EngineLockstep)
+		case "batched":
+			out = append(out, machine.EngineBatched)
+		case "async":
+			out = append(out, machine.EngineAsync)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown engine %q (want lockstep, batched, or async)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no engines selected")
+	}
+	return out, nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
+	minTime := flag.Duration("time", time.Second, "minimum measuring time per benchmark")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	enginesFlag := flag.String("engines", "lockstep,batched,async", "comma-separated engines to benchmark")
+	flag.Parse()
+
+	engines, err := parseEngines(*enginesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esbench:", err)
+		os.Exit(2)
+	}
+	mt := *minTime
+	if *quick {
+		mt = 0 // one iteration
+	}
+
+	date := time.Now().UTC().Format("2006-01-02")
+	rep := Report{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Quick:     *quick,
+	}
+	for _, sc := range benchscen.All() {
+		for _, e := range engines {
+			if sc.Skips(e) {
+				continue
+			}
+			r := measure(sc, e, mt)
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			fmt.Fprintf(os.Stderr, "%-28s %-9s %3d iters  %12.0f ns/op  %14.0f cpu-ms/s\n",
+				r.Name, r.Engine, r.Iterations, r.NsPerOp, r.CPUMSPerS)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "esbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}

@@ -13,25 +13,35 @@
 //     and fit the RC exponential. The tool reports the recovered R and
 //     τ per package against ground truth.
 //
-// Usage: escalibrate [-seed N] [-noise F]
+// Usage: escalibrate [-seed N] [-noise F] [-engine lockstep|batched|async]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 
 	"energysched/internal/counters"
 	"energysched/internal/energy"
+	"energysched/internal/machine"
 	"energysched/internal/rng"
+	"energysched/internal/sched"
 	"energysched/internal/thermal"
+	"energysched/internal/topology"
 	"energysched/internal/workload"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 2006, "random seed")
 	noise := flag.Float64("noise", 0.02, "multimeter 1-sigma relative noise")
+	engineName := flag.String("engine", "batched", "simulation engine: lockstep, batched, or async")
 	flag.Parse()
+	engine, err := machine.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	model := energy.DefaultTrueModel()
 	r := rng.New(*seed)
@@ -92,19 +102,31 @@ func main() {
 		trials, sumErr/trials*100, maxErr*100)
 
 	fmt.Println("== Thermal-model calibration (§4.2) ==")
-	fmt.Println("heating each package from idle with bitcnts (61 W), fitting the diode trace:")
+	fmt.Printf("heating each package from idle with bitcnts (61 W) on the %s engine,\n", engine)
+	fmt.Println("fitting the diode trace:")
 	fmt.Printf("\n%-8s %12s %12s %10s %10s\n", "package", "true R", "fitted R", "true tau", "fitted tau")
 	rs := []float64{0.30, 0.22, 0.17, 0.28, 0.27, 0.21, 0.16, 0.15}
 	diode := thermal.DefaultDiode()
 	for p, rTrue := range rs {
 		props := thermal.Properties{R: rTrue, C: 15 / rTrue, AmbientC: 25}
-		node := thermal.NewNode(props)
+		// The §4.2 procedure as the kernel would run it: a single-CPU
+		// machine of this package heated by the maximum-power task,
+		// its diode sampled once per simulated second. Running it
+		// through the machine (rather than stepping the RC node
+		// directly) exercises the full engine path, so the calibration
+		// is reproducible on every simulation core.
+		m := machine.MustNew(machine.Config{
+			Engine:       engine,
+			Layout:       topology.Layout{Nodes: 1, PackagesPerNode: 1, ThreadsPerPackage: 1},
+			Sched:        sched.BaselineConfig(),
+			Seed:         *seed + uint64(p),
+			PackageProps: []thermal.Properties{props},
+		})
+		m.Spawn(cat.Bitcnts())
 		var samples []float64
 		for sSec := 0; sSec < 90; sSec++ {
-			samples = append(samples, diode.Read(node)+diode.ResolutionC/2)
-			for ms := 0; ms < 1000; ms++ {
-				node.Step(61, 1)
-			}
+			samples = append(samples, diode.Quantize(m.CoreTemp(0))+diode.ResolutionC/2)
+			m.Run(1000)
 		}
 		fit, err := thermal.Calibrate(samples, 1, 61, props.AmbientC)
 		if err != nil {

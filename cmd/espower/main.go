@@ -31,6 +31,9 @@
 //	-seed N      random seed (default 2006)
 //	-quick       shortened runs (~4× faster, noisier)
 //	-csv         emit raw series as CSV instead of ASCII charts
+//	-engine E    simulation engine: lockstep, batched (default), or
+//	             async — the engines produce identical results, so any
+//	             experiment can be reproduced on any core
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"strings"
 
 	"energysched/internal/experiments"
+	"energysched/internal/machine"
 	"energysched/internal/stats"
 	"energysched/internal/textplot"
 )
@@ -48,8 +52,15 @@ func main() {
 	seed := flag.Uint64("seed", 2006, "random seed")
 	quick := flag.Bool("quick", false, "shortened runs")
 	csv := flag.Bool("csv", false, "emit raw CSV series")
+	engineName := flag.String("engine", "batched", "simulation engine: lockstep, batched, or async")
 	flag.Usage = usage
 	flag.Parse()
+	engine, err := machine.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.Engine = engine
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -64,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units sweeps all")
 }
 
@@ -72,6 +83,12 @@ type runner struct {
 	seed  uint64
 	quick bool
 	csv   bool
+}
+
+// fail aborts on an experiment error (e.g. a calibration failure).
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "espower:", err)
+	os.Exit(1)
 }
 
 // scale shortens durations in quick mode.
@@ -91,13 +108,21 @@ func (r runner) run(cmd string) bool {
 		}
 		fmt.Print(experiments.FormatTable1(experiments.Table1(r.seed, slices)))
 	case "table2":
-		fmt.Print(experiments.FormatTable2(experiments.Table2(r.seed, int(r.scale(60000)))))
+		rows, err := experiments.Table2(r.seed, int(r.scale(60000)))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatTable2(rows))
 	case "table3":
 		cfg := experiments.DefaultTable3Config()
 		cfg.Seed = r.seed
 		cfg.WarmupMS = r.scale(cfg.WarmupMS)
 		cfg.MeasureMS = r.scale(cfg.MeasureMS)
-		fmt.Print(experiments.FormatTable3(experiments.Table3(cfg)))
+		res, err := experiments.Table3(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatTable3(res))
 	case "fig3":
 		res := experiments.Figure3()
 		if r.csv {

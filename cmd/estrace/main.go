@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	estrace [-scenario hottask|mixed|cmp] [-duration 60s] [-seed N] [-format csv|jsonl]
+//	estrace [-scenario hottask|mixed|cmp] [-engine lockstep|batched|async]
+//	        [-duration 60s] [-seed N] [-format csv|jsonl]
 package main
 
 import (
@@ -32,10 +33,16 @@ func main() {
 	seed := flag.Uint64("seed", 7, "random seed")
 	format := flag.String("format", "csv", "output format: csv or jsonl")
 	limit := flag.Int("limit", 0, "retain at most N events (0 = all)")
+	engineName := flag.String("engine", "batched", "simulation engine: lockstep, batched, or async")
 	flag.Parse()
 
+	engine, err := machine.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	rec := trace.New(*limit)
-	m, err := build(*scenario, *seed, rec)
+	m, err := build(*scenario, *seed, rec, engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -59,8 +66,10 @@ func main() {
 	}
 }
 
-// build assembles the requested scenario machine with tracing attached.
-func build(name string, seed uint64, rec *trace.Recorder) (*machine.Machine, error) {
+// build assembles the requested scenario machine with tracing attached,
+// running on the requested simulation engine (the engines produce
+// identical traces; see machine.TestEngineEquivalence).
+func build(name string, seed uint64, rec *trace.Recorder, engine machine.Engine) (*machine.Machine, error) {
 	cat := workload.NewCatalog(energy.DefaultTrueModel())
 	uniform := func(n int, r float64) []thermal.Properties {
 		props := make([]thermal.Properties, n)
@@ -73,6 +82,7 @@ func build(name string, seed uint64, rec *trace.Recorder) (*machine.Machine, err
 	case "hottask":
 		// The §6.4 / Fig. 9 setup: one bitcnts, 40 W packages, SMT on.
 		m, err := machine.New(machine.Config{
+			Engine:           engine,
 			Layout:           topology.XSeries445(),
 			Sched:            sched.DefaultConfig(),
 			Seed:             seed,
@@ -90,6 +100,7 @@ func build(name string, seed uint64, rec *trace.Recorder) (*machine.Machine, err
 	case "mixed":
 		// The §6.1 mixed workload with energy balancing, SMT off.
 		m, err := machine.New(machine.Config{
+			Engine:           engine,
 			Layout:           topology.XSeries445NoSMT(),
 			Sched:            sched.DefaultConfig(),
 			Seed:             seed,
@@ -107,6 +118,7 @@ func build(name string, seed uint64, rec *trace.Recorder) (*machine.Machine, err
 	case "cmp":
 		// The §7 CMP extension: one hot task on dual-core chips.
 		m, err := machine.New(machine.Config{
+			Engine:           engine,
 			Layout:           topology.CMP2x2(),
 			Sched:            sched.DefaultConfig(),
 			Seed:             seed,

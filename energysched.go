@@ -100,14 +100,17 @@ const (
 // Engine re-exports the simulation-core selector.
 type Engine = machine.Engine
 
-// Simulation engines (see machine.Engine). EngineBatched — the default —
-// advances the machine in event-horizon quanta, integrating work,
-// energy, and temperature analytically between events; EngineLockstep is
-// the classic 1 ms loop. Both produce equivalent results for the same
-// seed; the batched engine is several times faster.
+// Simulation engines (see machine.Engine). EngineBatched — the default
+// — advances the machine in event-horizon quanta, integrating work,
+// energy, and temperature analytically between events; EngineAsync
+// adds per-CPU clocks on top, letting idle CPUs sleep past busy ones
+// and settling their state lazily (the fastest choice for mostly-idle
+// machines); EngineLockstep is the classic 1 ms loop. All three
+// produce equivalent results for the same seed.
 const (
 	EngineBatched  = machine.EngineBatched
 	EngineLockstep = machine.EngineLockstep
+	EngineAsync    = machine.EngineAsync
 )
 
 // XSeries445 returns the paper's evaluation machine layout (2 NUMA
@@ -124,7 +127,8 @@ type Options struct {
 	// Layout is the machine shape; zero means XSeries445NoSMT.
 	Layout Layout
 	// Engine selects the simulation core; the zero value is the batched
-	// event-horizon engine. EngineLockstep restores the 1 ms loop.
+	// event-horizon engine. EngineAsync batches idle CPUs past busy
+	// ones; EngineLockstep restores the 1 ms loop.
 	Engine Engine
 	// MaxQuantumMS caps the batched engine's quantum; 0 selects the
 	// machine default. Ignored by the lockstep engine.

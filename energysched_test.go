@@ -183,8 +183,8 @@ func TestReproduceFacade(t *testing.T) {
 	if rows := energysched.ReproduceTable1(2006, 120); len(rows) != 5 {
 		t.Errorf("Table1 rows = %d", len(rows))
 	}
-	if rows := energysched.ReproduceTable2(2006, 5000); len(rows) != 6 {
-		t.Errorf("Table2 rows = %d", len(rows))
+	if rows, err := energysched.ReproduceTable2(2006, 5000); err != nil || len(rows) != 6 {
+		t.Errorf("Table2 rows = %d, err = %v", len(rows), err)
 	}
 	if r := energysched.ReproduceFigure3(); r.ThermalPower.Len() == 0 {
 		t.Error("Figure3 empty")
@@ -222,7 +222,10 @@ func TestReproduceFacade(t *testing.T) {
 	if r := energysched.ReproduceFigure7(61); r.SpreadW <= 0 {
 		t.Errorf("Figure7 spread = %v", r.SpreadW)
 	}
-	res := energysched.ReproduceTable3(2006)
+	res, err := energysched.ReproduceTable3(2006)
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
 	if res.AvgDisabled <= res.AvgEnabled {
 		t.Error("Table3 shape wrong through facade")
 	}

@@ -40,7 +40,7 @@ func AblationBalancerMetrics(seed uint64, durationMS int64) []AblationResult {
 		pol := sched.DefaultConfig()
 		pol.Metric = mode.metric
 		layout := xseriesNoSMT()
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:           layout,
 			Sched:            pol,
 			Seed:             seed,
@@ -113,7 +113,7 @@ func AblationPlacement(seed uint64, measureMS int64) AblationPlacementResult {
 		if err != nil {
 			panic(err)
 		}
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:          xseriesSMT(),
 			Sched:           pol,
 			Seed:            seed,

@@ -47,7 +47,7 @@ func cmpLayout() topology.Layout { return topology.CMP2x2() }
 func CMPHotTask(seed uint64, durationMS int64) CMPResult {
 	layout := cmpLayout()
 	mk := func(pol sched.Config) *machine.Machine {
-		return machine.MustNew(machine.Config{
+		return newMachine(machine.Config{
 			Layout:           layout,
 			Sched:            pol,
 			Seed:             seed,
@@ -105,7 +105,7 @@ func cmpPairTemp(seed uint64, shared bool) float64 {
 	pol := sched.BaselineConfig()
 	pol.HotCheckPeriodMS = 0
 	pol.BalancePeriodMS = 0
-	m := machine.MustNew(machine.Config{
+	m := newMachine(machine.Config{
 		Layout:       layout,
 		Sched:        pol,
 		Seed:         seed,

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"energysched/internal/energy"
 )
 
 // Shortened configs keep the test suite fast; the benchmarks run the
@@ -47,7 +50,10 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2MatchesPublishedPowers(t *testing.T) {
-	rows := Table2(2006, 30000)
+	rows, err := Table2(2006, 30000)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
 	want := map[string]struct{ lo, hi float64 }{
 		"bitcnts": {59, 63}, "memrw": {36, 40}, "aluadd": {48, 52}, "pushpop": {45, 49},
 	}
@@ -82,7 +88,10 @@ func shortTable3() Table3Config {
 // percentage and raises throughput; the well-cooled packages never
 // throttle.
 func TestTable3Shape(t *testing.T) {
-	res := Table3(shortTable3())
+	res, err := Table3(shortTable3())
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
 	if res.AvgDisabled <= res.AvgEnabled {
 		t.Errorf("balancing did not reduce throttling: %.1f%% → %.1f%%",
 			res.AvgDisabled*100, res.AvgEnabled*100)
@@ -510,5 +519,22 @@ func TestSweepDestGap(t *testing.T) {
 	}
 	if !strings.Contains(FormatDestGap(pts), "throttled") {
 		t.Error("FormatDestGap malformed")
+	}
+}
+
+// The tables must surface a calibration failure as an error (not a
+// panic, not silently-wrong rows): stub the calibrator and check the
+// error propagates through both tables.
+func TestTablesSurfaceCalibrationFailure(t *testing.T) {
+	orig := calibrated
+	defer func() { calibrated = orig }()
+	calibErr := errors.New("rank-deficient application set")
+	calibrated = func(seed uint64) (*energy.Estimator, error) { return nil, calibErr }
+
+	if rows, err := Table2(2006, 5000); !errors.Is(err, calibErr) {
+		t.Errorf("Table2 error = %v (rows %v), want wrapped calibration error", err, rows)
+	}
+	if _, err := Table3(shortTable3()); !errors.Is(err, calibErr) {
+		t.Errorf("Table3 error = %v, want wrapped calibration error", err)
 	}
 }

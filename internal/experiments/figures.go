@@ -98,7 +98,7 @@ func ThermalTrace(cfg ThermalTraceConfig) ThermalTraceResult {
 	if cfg.EnergyBalancing {
 		pol = sched.DefaultConfig()
 	}
-	m := machine.MustNew(machine.Config{
+	m := newMachine(machine.Config{
 		Layout:           layout,
 		Sched:            pol,
 		Seed:             cfg.Seed,
@@ -215,7 +215,7 @@ func Figure8(cfg Figure8Config) []Figure8Point {
 			if err != nil {
 				panic(err)
 			}
-			m := machine.MustNew(machine.Config{
+			m := newMachine(machine.Config{
 				Layout:          xseriesNoSMT(),
 				Sched:           pol,
 				Seed:            cfg.Seed + uint64(i),

@@ -35,7 +35,7 @@ type Figure9Result struct {
 // other node.
 func Figure9(seed uint64, durationMS int64) Figure9Result {
 	layout := xseriesSMT()
-	m := machine.MustNew(machine.Config{
+	m := newMachine(machine.Config{
 		Layout:           layout,
 		Sched:            sched.DefaultConfig(),
 		Seed:             seed,
@@ -114,7 +114,7 @@ func Figure10(cfg Figure10Config) []Figure10Point {
 	forEach(cfg.MaxTasks, func(i int) {
 		n := i + 1
 		run := func(pol sched.Config) *machine.Machine {
-			m := machine.MustNew(machine.Config{
+			m := newMachine(machine.Config{
 				Layout:           xseriesSMT(),
 				Sched:            pol,
 				Seed:             cfg.Seed + uint64(n),
@@ -165,7 +165,7 @@ type HotTaskSpeedupResult struct {
 // without hot task migration, under the given package budget.
 func HotTaskSpeedup(seed uint64, budgetW, workMS float64) HotTaskSpeedupResult {
 	exec := func(pol sched.Config) int64 {
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:           xseriesSMT(),
 			Sched:            pol,
 			Seed:             seed,

@@ -75,7 +75,7 @@ func PolicyComparison(seed uint64, measureMS int64) PolicyComparisonResult {
 		{R: 0.15, C: 100, AmbientC: 25},
 	}
 	run := func(pol sched.Config, taskThrottling bool) (*machine.Machine, float64) {
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:          layout,
 			Sched:           pol,
 			Seed:            seed,

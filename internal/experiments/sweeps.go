@@ -38,7 +38,7 @@ func SweepHysteresis(seed uint64, durationMS int64) []HysteresisPoint {
 		pol.ThermalRatioMargin = margins[i]
 		pol.RQRatioMargin = margins[i]
 		layout := xseriesNoSMT()
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:           layout,
 			Sched:            pol,
 			Seed:             seed,
@@ -98,7 +98,7 @@ func SweepTimeConstant(seed uint64, durationMS int64) []TimeConstantPoint {
 		for p := range props {
 			props[p] = thermal.Properties{R: 0.2, C: tau / 0.2, AmbientC: 25}
 		}
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:           xseriesSMT(),
 			Sched:            sched.DefaultConfig(),
 			Seed:             seed,
@@ -153,7 +153,7 @@ func SweepDestGap(seed uint64, durationMS int64) []DestGapPoint {
 	forEach(len(gaps), func(i int) {
 		pol := sched.DefaultConfig()
 		pol.HotDestGapW = gaps[i]
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:           xseriesSMT(),
 			Sched:            pol,
 			Seed:             seed,

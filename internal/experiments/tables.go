@@ -81,11 +81,13 @@ type Table2Row struct {
 
 // Table2 measures each test program's power with the calibrated
 // estimator over a solo run, reporting a range for phase-varying
-// programs (openssl) and a point for the static ones.
-func Table2(seed uint64, runMS int) []Table2Row {
-	est, err := CalibratedEstimator(seed)
+// programs (openssl) and a point for the static ones. It returns the
+// calibration error, if any, instead of guessing at a fallback — a
+// mis-calibrated estimator would silently skew every row.
+func Table2(seed uint64, runMS int) ([]Table2Row, error) {
+	est, err := calibrated(seed)
 	if err != nil {
-		panic(err) // reference calibration apps are rank-sufficient
+		return nil, fmt.Errorf("experiments: table 2 calibration: %w", err)
 	}
 	var rows []Table2Row
 	for _, prog := range Catalog().Table2Set() {
@@ -102,7 +104,7 @@ func Table2(seed uint64, runMS int) []Table2Row {
 		lo, hi := stats.Percentile(samples, 5), stats.Percentile(samples, 95)
 		rows = append(rows, Table2Row{Program: prog.Name, MinWatts: lo, MaxWatts: hi})
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatTable2 renders rows in the paper's layout.
@@ -163,13 +165,16 @@ func DefaultTable3Config() Table3Config {
 // limit with per-CPU calibrated thermal models, once with energy-aware
 // scheduling disabled and once enabled, and reports per-CPU throttling
 // percentages and the throughput gain.
-func Table3(cfg Table3Config) Table3Result {
+// It returns the §3.2 calibration error, if any: the experiment's
+// whole point is throttling behaviour under the *estimated* powers, so
+// running it without a calibrated estimator would not be Table 3.
+func Table3(cfg Table3Config) (Table3Result, error) {
+	est, err := calibrated(cfg.Seed)
+	if err != nil {
+		return Table3Result{}, fmt.Errorf("experiments: table 3 calibration: %w", err)
+	}
 	run := func(pol sched.Config) *machine.Machine {
-		est, err := CalibratedEstimator(cfg.Seed)
-		if err != nil {
-			panic(err)
-		}
-		m := machine.MustNew(machine.Config{
+		m := newMachine(machine.Config{
 			Layout:          xseriesSMT(),
 			Sched:           pol,
 			Seed:            cfg.Seed,
@@ -204,7 +209,7 @@ func Table3(cfg Table3Config) Table3Result {
 	if off.WorkRate() > 0 {
 		res.ThroughputGain = on.WorkRate()/off.WorkRate() - 1
 	}
-	return res
+	return res, nil
 }
 
 // FormatTable3 renders the result in the paper's layout.

@@ -48,7 +48,7 @@ func UnitAware(seed uint64, measureMS int64) UnitAwareResult {
 			UnitThermal:      true,
 			UnitLimitC:       44,
 		}
-		m := machine.MustNew(cfg)
+		m := newMachine(cfg)
 		cat := Catalog()
 		// Spawn order int, fp, int, fp: the load-spreading placement
 		// puts both integer tasks on CPU 0 and both FP tasks on CPU 1.

@@ -1,0 +1,452 @@
+package machine
+
+import (
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+)
+
+// The async discrete-event engine.
+//
+// The batched engine (batched.go) removed the per-millisecond loop, but
+// it still advances every CPU in lockstep at the *global* quantum — the
+// minimum over all CPUs' event horizons — so one busy CPU drags every
+// idle CPU through its small steps, each paying a metric update and a
+// thermal step (an exp/pow each) per quantum. The async engine gives
+// each CPU its own clock: an idle CPU is *parked* and simply stops
+// participating in the per-step work. Its state is brought forward
+// lazily — in one closed-form "settling" over the whole elapsed gap —
+// at the first instant something observes it:
+//
+//   - a wake-up, migration, or spawn placement enqueues work on it,
+//   - a balance / idle-pull / hot-check pass reads its thermal-power
+//     metric (these scan cross-CPU state, so they are the
+//     synchronization points of the event system),
+//   - a monitor sample reads its metric and temperatures,
+//   - Run returns (so external observers always see settled state).
+//
+// Settling is exact by the same arguments that make batching exact: the
+// idle power feed is constant, so the variable-period exponential
+// average composes one gap-length update identically to per-step
+// updates; the RC thermal step is closed-form over constant power; the
+// throttle tick accounting is integer addition. The engine therefore
+// reproduces the batched (and hence lockstep) engine's scheduling
+// decisions bit-for-bit, with temperatures and energies equal up to
+// floating-point rounding — enforced by TestEngineEquivalence.
+//
+// Three nested layers of parking exist, each with its own settle clock:
+//
+//   - per-CPU: the power metric and the idle-tick counter
+//     (cpuSettledMS). A CPU's metric may stay live while the CPU is
+//     parked if the CPU belongs to a throttle group that still needs
+//     per-step evaluation (see below).
+//   - per scalar throttle: a group whose members are all parked, whose
+//     throttle is disengaged, and whose summed metric provably cannot
+//     reach the limit while idle (each member's metric moves
+//     monotonically toward the idle feed) goes *dormant*: Engage is
+//     skipped and the tick accounting (thrSettledMS) settles lazily.
+//   - per package: when every logical CPU of a package is parked, the
+//     package's thermal state — core nodes, unit hotspots, unit
+//     throttle accounting — freezes (pkgSettledMS) and settles in one
+//     StepExact / StepOverBatched per core over the gap. Packages with
+//     any active CPU keep stepping every quantum, because chip coupling
+//     makes their idle cores' effective power time-varying.
+//
+// Wake events live in a sched.EventQueue (binary min-heap) so the
+// quantum planner peeks the earliest wake in O(1) instead of scanning
+// the sleeper list; stale entries (tasks that woke or re-blocked) are
+// discarded lazily at peek time.
+
+// runAsync drives the shared step like runBatched and settles all
+// parked state before returning, so callers observe a fully
+// materialized machine.
+func (m *Machine) runAsync(durationMS int64) {
+	end := m.nowMS + durationMS
+	for m.nowMS < end {
+		limit := end - m.nowMS
+		if limit > m.maxQuantum {
+			limit = m.maxQuantum
+		}
+		m.step(limit)
+	}
+	m.settleAll()
+}
+
+// initAsync allocates the parking state. Called from New for
+// EngineAsync only; every other engine leaves m.async false and the
+// step guards compile to nil-checks that never fire.
+func (m *Machine) initAsync() {
+	nCPU := m.Cfg.Layout.NumLogical()
+	nPkg := m.Cfg.Layout.NumPackages()
+	m.async = true
+	m.parked = make([]bool, nCPU)
+	m.cpuSettledMS = make([]int64, nCPU)
+	m.pkgParked = make([]bool, nPkg)
+	m.pkgSettledMS = make([]int64, nPkg)
+	m.throttleOf = make([]int, nCPU)
+	for c := range m.throttleOf {
+		m.throttleOf[c] = -1
+	}
+	for i, members := range m.throttleMembers {
+		for _, cpu := range members {
+			m.throttleOf[int(cpu)] = i
+		}
+	}
+	if m.throttles != nil {
+		m.thrDormant = make([]bool, len(m.throttles))
+		m.thrSettledMS = make([]int64, len(m.throttles))
+	}
+	// Effective thermal power of a core while its whole package idles:
+	// own idle share plus the chip-coupling share of its (equally idle)
+	// neighbours. Constant, so parked packages settle in closed form.
+	cores := m.Cfg.Layout.Cores()
+	idleRaw := m.idleShareW * float64(m.Cfg.Layout.ThreadsPerPackage)
+	m.idleEffW = idleRaw * (1 + m.Cfg.CoreCoupling*float64(cores-1))
+	m.wakePQ = sched.NewEventQueue(64)
+	m.phase6CPU = -1
+}
+
+// cpuParked reports whether the async engine has parked a CPU; always
+// false for the other engines.
+func (m *Machine) cpuParked(c int) bool { return m.async && m.parked[c] }
+
+// metricDormant reports whether a parked CPU's power metric is
+// deferred. A parked CPU outside any throttle group defers
+// immediately; a group member defers only while its whole group is
+// dormant (live groups read every member's metric each step, so those
+// members keep the per-step idle update).
+func (m *Machine) metricDormant(c int) bool {
+	g := m.throttleOf[c]
+	if g < 0 {
+		return true
+	}
+	return m.thrDormant[g]
+}
+
+// earliestWake returns the earliest pending wake-up time, discarding
+// stale heap entries (tasks already woken, or re-blocked under a new
+// wake time) lazily.
+func (m *Machine) earliestWake() int64 {
+	for {
+		at, id, ok := m.wakePQ.Peek()
+		if !ok {
+			return sched.NoDeadline
+		}
+		if ts, live := m.tasks[id]; live && ts.sleeping && ts.wakeAtMS == at {
+			return at
+		}
+		m.wakePQ.Pop()
+	}
+}
+
+// metricSettleTo returns the tick up to (exclusive) which CPU d's idle
+// metric must be brought forward to match the shared step's state at
+// the current phase: before the execution phase nothing of the current
+// quantum is folded in yet; after it the whole quantum is. During the
+// execution phase itself (spawn placements from finishTask) the loop
+// has folded the quantum into CPUs below phase6CPU but not yet into the
+// ones above — the settle target honors that split so placement reads
+// exactly what the batched engine would have.
+func (m *Machine) metricSettleTo(d int) int64 {
+	if m.metricsDone || d < m.phase6CPU {
+		return m.nowMS + 1
+	}
+	return m.qStartMS
+}
+
+// settleCPUMetricTo folds the idle gap [cpuSettledMS, to) into CPU d's
+// power metric and idle-tick counter.
+func (m *Machine) settleCPUMetricTo(d int, to int64) {
+	if gap := to - m.cpuSettledMS[d]; gap > 0 {
+		fg := float64(gap)
+		m.Sched.Power[d].AddEnergy(m.estIdleJ*fg, fg)
+		m.idleTicks[d] += gap
+		m.cpuSettledMS[d] = to
+	}
+}
+
+// settleDormantMetrics brings every deferred CPU metric forward to its
+// phase-correct settle target. Called before any pass that reads
+// cross-CPU thermal power (balance, idle pull, hot check, placement,
+// monitor sampling).
+func (m *Machine) settleDormantMetrics() {
+	for c := range m.parked {
+		if m.parked[c] && m.metricDormant(c) {
+			m.settleCPUMetricTo(c, m.metricSettleTo(c))
+		}
+	}
+}
+
+// settlePackageThermal integrates a parked package's thermal state over
+// [pkgSettledMS, to): each core one closed-form RC step at the constant
+// idle effective power, each unit hotspot one StepOverBatched against
+// the core's geometric relaxation (zero unit power while idle), and the
+// unit throttles' tick accounting. The package stays parked; only its
+// clock advances.
+func (m *Machine) settlePackageThermal(p int, to int64) {
+	gap := to - m.pkgSettledMS[p]
+	if gap <= 0 {
+		return
+	}
+	cores := m.Cfg.Layout.Cores()
+	fg := float64(gap)
+	for core := p * cores; core < (p+1)*cores; core++ {
+		node := m.nodes[core]
+		if m.unitNodes != nil {
+			start := node.TempC
+			steady := node.Props.SteadyTemp(m.idleEffW)
+			decay := node.Props.DecayPerMS()
+			node.StepExact(m.idleEffW, fg)
+			for _, n := range m.unitNodes[core] {
+				n.StepOverBatched(0, gap, start, steady, decay)
+			}
+		} else {
+			node.StepExact(m.idleEffW, fg)
+		}
+		if m.unitThrottles != nil {
+			m.unitThrottles[core].Account(gap)
+		}
+	}
+	m.pkgSettledMS[p] = to
+}
+
+// settleParkedPackages brings every parked package's thermal state
+// forward to to (they stay parked).
+func (m *Machine) settleParkedPackages(to int64) {
+	for p := range m.pkgParked {
+		if m.pkgParked[p] {
+			m.settlePackageThermal(p, to)
+		}
+	}
+}
+
+// wakeThrottleGroup ends a scalar throttle's dormancy: member metrics
+// settle (they return to per-step updates from here on) and the
+// skipped tick accounting is folded in.
+func (m *Machine) wakeThrottleGroup(g int) {
+	if !m.thrDormant[g] {
+		return
+	}
+	for _, mc := range m.throttleMembers[g] {
+		m.settleCPUMetricTo(int(mc), m.metricSettleTo(int(mc)))
+	}
+	to := m.qStartMS
+	if m.accountDone {
+		to = m.nowMS + 1
+	}
+	if gap := to - m.thrSettledMS[g]; gap > 0 {
+		m.throttles[g].Account(gap)
+	}
+	m.thrDormant[g] = false
+}
+
+// activateCPU un-parks a CPU because work is about to be enqueued on it
+// (wake-up, migration, or spawn placement). Its metric, its throttle
+// group, and its package all rejoin the per-step path with settled
+// state.
+func (m *Machine) activateCPU(cpu topology.CPUID) {
+	c := int(cpu)
+	if !m.parked[c] {
+		return
+	}
+	if g := m.throttleOf[c]; g >= 0 {
+		m.wakeThrottleGroup(g)
+	} else {
+		m.settleCPUMetricTo(c, m.metricSettleTo(c))
+	}
+	m.unparkPackage(m.Cfg.Layout.Package(cpu))
+	m.parked[c] = false
+	m.nParked--
+}
+
+// unparkPackage returns a package to per-quantum thermal stepping.
+func (m *Machine) unparkPackage(p int) {
+	if !m.pkgParked[p] {
+		return
+	}
+	to := m.qStartMS
+	if m.thermalDone {
+		to = m.nowMS + 1
+	}
+	m.settlePackageThermal(p, to)
+	m.pkgParked[p] = false
+}
+
+// parkIdleCPUs runs at the end of every async step: CPUs that ended the
+// step with nothing to run are parked, throttle groups whose last
+// member parked (or whose throttle just disengaged with all members
+// parked) go dormant when provably inert, and fully parked packages
+// freeze their thermal state. m.nowMS already points past the quantum,
+// so every settle clock starts exactly at the first unprocessed tick.
+func (m *Machine) parkIdleCPUs() {
+	now := m.nowMS
+	newParked := false
+	for c, rq := range m.Sched.RQs {
+		if m.parked[c] || rq.Current != nil || len(rq.Queued()) > 0 {
+			continue
+		}
+		m.parked[c] = true
+		m.nParked++
+		newParked = true
+		m.truePower[c] = m.idleShareW
+		m.execSpeed[c] = 0
+		if m.throttleOf[c] < 0 {
+			m.cpuSettledMS[c] = now
+		}
+	}
+	if !newParked && m.nParked == 0 {
+		return
+	}
+	// Scalar throttle dormancy: all members parked, disengaged, and the
+	// summed metric cannot reach the limit while every member feeds
+	// idle power (each member's average moves monotonically toward the
+	// idle feed, so the sum is bounded by Σ max(current, idle)).
+	for g, th := range m.throttles {
+		if m.thrDormant[g] || th.Engaged() {
+			continue
+		}
+		members := m.throttleMembers[g]
+		all := true
+		for _, mc := range members {
+			if !m.parked[int(mc)] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		if th.LimitW > 0 {
+			bound := 0.0
+			for _, mc := range members {
+				tp := m.Sched.Power[int(mc)].ThermalPower()
+				if tp < m.estIdleW {
+					tp = m.estIdleW
+				}
+				bound += tp
+			}
+			if bound+1e-9 >= th.LimitW {
+				continue // could still engage: keep evaluating per step
+			}
+		}
+		m.thrDormant[g] = true
+		m.thrSettledMS[g] = now
+		for _, mc := range members {
+			m.cpuSettledMS[int(mc)] = now
+		}
+	}
+	// Package thermal parking: every logical CPU parked, and — under
+	// unit throttling — no unit throttle engaged or able to engage
+	// while the package cools toward its idle steady state (unit
+	// temperatures relax toward the core reference, which itself moves
+	// monotonically toward the idle steady temperature, so all
+	// temperatures stay below max(current, idle steady)).
+	layout := m.Cfg.Layout
+	cores := layout.Cores()
+	threads := layout.ThreadsPerPackage
+pkgs:
+	for p := range m.pkgParked {
+		if m.pkgParked[p] {
+			continue
+		}
+		for c := p * cores; c < (p+1)*cores; c++ {
+			for t := 0; t < threads; t++ {
+				if !m.parked[int(layout.CPUOfCore(c, t))] {
+					continue pkgs
+				}
+			}
+		}
+		if m.unitThrottles != nil {
+			for core := p * cores; core < (p+1)*cores; core++ {
+				th := m.unitThrottles[core]
+				if th.Engaged() {
+					continue pkgs
+				}
+				if th.LimitW <= 0 {
+					continue
+				}
+				hi := m.nodes[core].Props.SteadyTemp(m.idleEffW)
+				if t := m.nodes[core].TempC; t > hi {
+					hi = t
+				}
+				for _, n := range m.unitNodes[core] {
+					if n.TempC > hi {
+						hi = n.TempC
+					}
+				}
+				if hi+1e-9 >= th.LimitW {
+					continue pkgs
+				}
+			}
+		}
+		m.pkgParked[p] = true
+		m.pkgSettledMS[p] = now
+	}
+}
+
+// syncBeforeDeadlines runs just before the periodic-deadline phase of
+// an async step. Balance, idle-pull, and hot-check passes read
+// thermal-power metrics across the whole machine, so if any such pass
+// will actually evaluate this tick, every deferred metric must be
+// settled first. It also records the queued-task count the deadline
+// loop uses to skip parked CPUs (with zero waiting tasks a parked
+// CPU's balance pass is a provable no-op).
+func (m *Machine) syncBeforeDeadlines(endMS int64) {
+	if m.nParked == 0 {
+		// Nothing parked, nothing deferred: the deadline phase runs
+		// exactly as in the batched engine. The queued count is only
+		// consulted for parked CPUs, so skip the machine-wide scan.
+		m.asyncQueued = 1
+		return
+	}
+	m.asyncQueued = m.Sched.TotalQueued()
+	observe := false
+	nCPU := len(m.parked)
+	if m.asyncQueued > 0 {
+		for c := 0; c < nCPU; c++ {
+			if m.wheel.BalanceDue(endMS, c) ||
+				(m.Sched.RQ(topology.CPUID(c)).Idle() && m.wheel.IdlePullDue(endMS, c)) {
+				observe = true
+				break
+			}
+		}
+	}
+	if !observe && m.hotArmed {
+		for c := 0; c < nCPU; c++ {
+			if m.parked[c] {
+				continue
+			}
+			rq := m.Sched.RQ(topology.CPUID(c))
+			if rq.Current != nil && rq.Len() == 1 && m.Sched.Power[c].MaxPower > 0 &&
+				m.wheel.HotDue(endMS, c) {
+				observe = true
+				break
+			}
+		}
+	}
+	if observe {
+		m.settleDormantMetrics()
+	}
+}
+
+// settleAll materializes every deferred piece of state at the current
+// clock. Parked CPUs, dormant throttles, and parked packages stay
+// parked — only their settle clocks advance — so the caller can read
+// any metric, temperature, or accounting field as if the machine had
+// stepped every quantum.
+func (m *Machine) settleAll() {
+	now := m.nowMS
+	for c := range m.parked {
+		if m.parked[c] && m.metricDormant(c) {
+			m.settleCPUMetricTo(c, now)
+		}
+	}
+	for g := range m.thrDormant {
+		if m.thrDormant[g] {
+			if gap := now - m.thrSettledMS[g]; gap > 0 {
+				m.throttles[g].Account(gap)
+			}
+			m.thrSettledMS[g] = now
+		}
+	}
+	m.settleParkedPackages(now)
+}

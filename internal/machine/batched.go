@@ -79,9 +79,16 @@ func (m *Machine) planQuantum(limit int64) int64 {
 	}
 
 	// Earliest sleeper wake-up (a start-of-tick event: the quantum must
-	// end before it).
-	for _, ts := range m.sleepers {
-		clamp(ts.wakeAtMS - now)
+	// end before it). The async engine keeps wake events on a binary
+	// heap, so the horizon is a peek instead of a scan.
+	if m.async {
+		if w := m.earliestWake(); w != sched.NoDeadline {
+			clamp(w - now)
+		}
+	} else {
+		for _, ts := range m.sleepers {
+			clamp(ts.wakeAtMS - now)
+		}
 	}
 
 	// §2.3 task throttling rotates runqueue heads every millisecond
@@ -93,6 +100,10 @@ func (m *Machine) planQuantum(limit int64) int64 {
 	queued := m.Sched.TotalQueued()
 	nCPU := m.Cfg.Layout.NumLogical()
 	for c := 0; c < nCPU; c++ {
+		if m.async && m.parked[c] && queued == 0 {
+			// Parked and nothing to pull: no horizon to contribute.
+			continue
+		}
 		cpu := topology.CPUID(c)
 		rq := m.Sched.RQ(cpu)
 		if cur := rq.Current; cur != nil {
@@ -190,6 +201,9 @@ func (m *Machine) clampThrottleCrossings(dt int64) int64 {
 		if th.LimitW <= 0 {
 			continue
 		}
+		if m.async && m.thrDormant[i] {
+			continue // dormant groups provably cannot cross
+		}
 		members := m.throttleMembers[i]
 		s0, x := 0.0, 0.0
 		for _, cpu := range members {
@@ -260,9 +274,13 @@ func (m *Machine) clampUnitCrossings(dt int64) int64 {
 			dt = n
 		}
 	}
+	cores := layout.Cores()
 	for core, th := range m.unitThrottles {
 		if th.LimitW <= 0 {
 			continue
+		}
+		if m.async && m.pkgParked[core/cores] {
+			continue // dormant: unit temperatures falling below limit
 		}
 		eff := m.coupledEffPower(raw, core)
 		node := m.nodes[core]

@@ -1,81 +1,66 @@
-package machine
+package machine_test
 
 import (
-	"fmt"
+	"strings"
 	"testing"
 
-	"energysched/internal/sched"
-	"energysched/internal/topology"
-	"energysched/internal/workload"
+	"energysched/internal/machine"
+	"energysched/internal/machine/benchscen"
 )
 
 // Engine benchmarks: the lockstep 1 ms loop versus the batched
-// event-horizon engine on the three workload regimes that bound its
-// speedup — idle-heavy (huge quanta between wake-ups), steady-state
-// (quanta bounded by balance/hot-check deadlines), and churn-heavy
-// (frequent completions, respawns, and throttle oscillation shrink the
-// quanta). Each reports simulated CPU-milliseconds per wall second.
+// event-horizon engine versus the async discrete-event engine. The
+// scenario definitions live in benchscen, shared with cmd/esbench so
+// the committed BENCH_<date>.json trajectory measures exactly these
+// cases. Each benchmark reports simulated CPU-milliseconds per wall
+// second.
 
-func benchWorkload(kind string, m *Machine) {
-	cat := catalog()
-	switch kind {
-	case "idle-heavy":
-		// A handful of mostly-blocked interactive daemons.
-		m.SpawnN(cat.Sshd(), 3)
-		m.SpawnN(cat.Httpd(), 3)
-	case "steady-state":
-		// Saturated with long-running CPU-bound programs.
-		for _, p := range cat.Table2Set() {
-			m.SpawnN(p, 2)
-		}
-	case "churn-heavy":
-		// Short finite tasks respawning constantly under an engaged,
-		// oscillating throttle.
-		m.SpawnN(workload.WithWork(cat.Bitcnts(), 2000), 6)
-		m.SpawnN(workload.WithWork(cat.Memrw(), 2000), 6)
-		m.SpawnN(cat.Bash(), 4)
-	default:
-		panic("unknown benchmark workload " + kind)
+var engineSet = []machine.Engine{machine.EngineLockstep, machine.EngineBatched, machine.EngineAsync}
+
+func runScenario(b *testing.B, sc benchscen.Scenario, e machine.Engine) {
+	m := sc.New(e)
+	m.Run(sc.WarmupMS) // settle dispatch/placement transients
+	nCPU := float64(m.Cfg.Layout.NumLogical())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(sc.SimChunkMS)
 	}
+	b.ReportMetric(float64(b.N)*float64(sc.SimChunkMS)*nCPU/b.Elapsed().Seconds(), "cpu-ms/s")
 }
 
-func benchConfig(kind string, e Engine) Config {
-	cfg := Config{
-		Engine:           e,
-		Layout:           topology.XSeries445NoSMT(),
-		Sched:            sched.DefaultConfig(),
-		Seed:             1,
-		PackageMaxPowerW: []float64{60},
-	}
-	if kind == "churn-heavy" {
-		cfg.PackageMaxPowerW = []float64{50}
-		cfg.ThrottleEnabled = true
-		cfg.Scope = ThrottlePerLogical
-		cfg.RespawnFinished = true
-	}
-	return cfg
-}
-
-// BenchmarkEngines compares the two engines on all three regimes, e.g.
+// BenchmarkEngines compares the three engines on the three workload
+// regimes that bound their speedups, e.g.
 //
 //	go test ./internal/machine -bench BenchmarkEngines -benchtime 2s
 //
-// The acceptance target for the batched engine is ≥3× on idle-heavy and
+// The acceptance targets: batched ≥3× lockstep on steady-state; async
+// ≥2× batched on idle-heavy and within 1.1× of batched on
 // steady-state.
 func BenchmarkEngines(b *testing.B) {
-	const simChunkMS = 10_000
-	for _, kind := range []string{"idle-heavy", "steady-state", "churn-heavy"} {
-		for _, e := range []Engine{EngineLockstep, EngineBatched} {
-			b.Run(fmt.Sprintf("%s/%s", kind, e), func(b *testing.B) {
-				m := MustNew(benchConfig(kind, e))
-				benchWorkload(kind, m)
-				m.Run(5_000) // settle dispatch/placement transients
-				nCPU := float64(m.Cfg.Layout.NumLogical())
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					m.Run(simChunkMS)
-				}
-				b.ReportMetric(float64(b.N)*simChunkMS*nCPU/b.Elapsed().Seconds(), "cpu-ms/s")
+	for _, sc := range benchscen.Engines() {
+		for _, e := range engineSet {
+			if sc.Skips(e) {
+				continue
+			}
+			b.Run(strings.TrimPrefix(sc.Name, "engines/")+"/"+e.String(), func(b *testing.B) {
+				runScenario(b, sc, e)
+			})
+		}
+	}
+}
+
+// BenchmarkLargeTopology profiles the per-quantum planner and the
+// engines on larger-than-paper machines (ROADMAP: 64–256 logical
+// CPUs). Lockstep is skipped on the 256-CPU layout; at that size it is
+// pure waiting.
+func BenchmarkLargeTopology(b *testing.B) {
+	for _, sc := range benchscen.Large() {
+		for _, e := range engineSet {
+			if sc.Skips(e) {
+				continue
+			}
+			b.Run(strings.TrimPrefix(sc.Name, "large/")+"/"+e.String(), func(b *testing.B) {
+				runScenario(b, sc, e)
 			})
 		}
 	}

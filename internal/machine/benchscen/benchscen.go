@@ -1,0 +1,139 @@
+// Package benchscen defines the engine benchmark scenarios once, for
+// both consumers that measure them: the go-test benchmarks
+// (internal/machine BenchmarkEngines / BenchmarkLargeTopology) and the
+// perf-trajectory recorder (cmd/esbench, which writes BENCH_<date>.json
+// and the CI artifact). A single definition keeps the committed
+// trajectory comparable with `go test -bench` numbers — two
+// hand-maintained copies of the layouts, budgets, and spawn mixes would
+// silently drift.
+package benchscen
+
+import (
+	"energysched/internal/energy"
+	"energysched/internal/machine"
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/workload"
+)
+
+// Scenario is one benchmark case: a machine configuration plus its
+// workload, shared across engines.
+type Scenario struct {
+	// Name identifies the case ("engines/idle-heavy",
+	// "large/256cpu/saturated", ...).
+	Name string
+	// SimChunkMS is the simulated milliseconds per timed iteration.
+	SimChunkMS int64
+	// WarmupMS settles dispatch/placement transients before timing.
+	WarmupMS int64
+	// SkipLockstep excludes the lockstep engine (on the largest
+	// layouts it is pure waiting).
+	SkipLockstep bool
+	// New builds the machine, workload spawned, on the given engine.
+	New func(e machine.Engine) *machine.Machine
+}
+
+// Skips reports whether the scenario excludes an engine.
+func (s Scenario) Skips(e machine.Engine) bool {
+	return s.SkipLockstep && e == machine.EngineLockstep
+}
+
+func builder(lay topology.Layout, budget float64, throttle bool, populate func(cat *workload.Catalog, m *machine.Machine)) func(machine.Engine) *machine.Machine {
+	return func(e machine.Engine) *machine.Machine {
+		cfg := machine.Config{
+			Engine:           e,
+			Layout:           lay,
+			Sched:            sched.DefaultConfig(),
+			Seed:             1,
+			PackageMaxPowerW: []float64{budget},
+		}
+		if throttle {
+			cfg.ThrottleEnabled = true
+			cfg.Scope = machine.ThrottlePerLogical
+			cfg.RespawnFinished = true
+		}
+		m := machine.MustNew(cfg)
+		populate(workload.NewCatalog(energy.DefaultTrueModel()), m)
+		return m
+	}
+}
+
+func saturate(cat *workload.Catalog, m *machine.Machine, per int) {
+	for _, p := range cat.Table2Set() {
+		m.SpawnN(p, per)
+	}
+}
+
+// Engines returns the three workload regimes that bound the engines'
+// speedups: idle-heavy (a large machine where most CPUs sleep while a
+// few run hot — the async engine's case), steady-state (saturated;
+// quanta bounded by balance/hot-check deadlines, nothing to park), and
+// churn-heavy (completions, respawns, and throttle oscillation shrink
+// the quanta).
+func Engines() []Scenario {
+	return []Scenario{
+		{
+			Name: "engines/idle-heavy", SimChunkMS: 10_000, WarmupMS: 5_000,
+			New: builder(topology.Server64(), 120, false, func(cat *workload.Catalog, m *machine.Machine) {
+				m.SpawnN(cat.Sshd(), 3)
+				m.SpawnN(cat.Httpd(), 3)
+				m.SpawnN(cat.Bitcnts(), 2)
+			}),
+		},
+		{
+			Name: "engines/steady-state", SimChunkMS: 10_000, WarmupMS: 5_000,
+			New: builder(topology.XSeries445NoSMT(), 60, false, func(cat *workload.Catalog, m *machine.Machine) {
+				saturate(cat, m, 2)
+			}),
+		},
+		{
+			Name: "engines/churn-heavy", SimChunkMS: 10_000, WarmupMS: 5_000,
+			New: builder(topology.XSeries445NoSMT(), 50, true, func(cat *workload.Catalog, m *machine.Machine) {
+				m.SpawnN(workload.WithWork(cat.Bitcnts(), 2000), 6)
+				m.SpawnN(workload.WithWork(cat.Memrw(), 2000), 6)
+				m.SpawnN(cat.Bash(), 4)
+			}),
+		},
+	}
+}
+
+// Large returns the larger-than-paper layouts (ROADMAP: 64–256 logical
+// CPUs) in the two regimes that matter at scale: mostly-idle (a few
+// hot tasks on a big box) and saturated (planner cost dominates).
+func Large() []Scenario {
+	var out []Scenario
+	for _, lay := range []struct {
+		name   string
+		layout topology.Layout
+	}{
+		{"64cpu", topology.Server64()},
+		{"256cpu", topology.Server256()},
+	} {
+		mostlyIdle := func(cat *workload.Catalog, m *machine.Machine) {
+			m.SpawnN(cat.Sshd(), 3)
+			m.SpawnN(cat.Httpd(), 3)
+			m.SpawnN(cat.Bitcnts(), 4)
+		}
+		per := lay.layout.NumLogical() / 6
+		saturated := func(cat *workload.Catalog, m *machine.Machine) {
+			saturate(cat, m, per)
+		}
+		skip := lay.name == "256cpu"
+		out = append(out,
+			Scenario{
+				Name: "large/" + lay.name + "/mostly-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
+				SkipLockstep: skip,
+				New:          builder(lay.layout, 120, false, mostlyIdle),
+			},
+			Scenario{
+				Name: "large/" + lay.name + "/saturated", SimChunkMS: 5_000, WarmupMS: 3_000,
+				SkipLockstep: skip,
+				New:          builder(lay.layout, 120, false, saturated),
+			},
+		)
+	}
+	return out
+}
+
+// All returns every benchmark scenario.
+func All() []Scenario { return append(Engines(), Large()...) }

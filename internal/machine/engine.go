@@ -28,11 +28,14 @@ import (
 // Run advances the simulation by durationMS milliseconds using the
 // configured engine.
 func (m *Machine) Run(durationMS int64) {
-	if m.Cfg.Engine == EngineLockstep {
+	switch m.Cfg.Engine {
+	case EngineLockstep:
 		m.runLockstep(durationMS)
-		return
+	case EngineAsync:
+		m.runAsync(durationMS)
+	default:
+		m.runBatched(durationMS)
 	}
-	m.runBatched(durationMS)
 }
 
 // step simulates one quantum of at most limitMS milliseconds and
@@ -42,6 +45,13 @@ func (m *Machine) step(limitMS int64) int64 {
 	layout := m.Cfg.Layout
 	nCPU := layout.NumLogical()
 	threads := layout.ThreadsPerPackage
+	if m.async {
+		m.qStartMS = m.nowMS
+		m.phase6CPU = -1
+		m.metricsDone = false
+		m.thermalDone = false
+		m.accountDone = false
+	}
 
 	// 1. Wake sleepers whose block time elapsed. Wake-up keeps CPU
 	// affinity: the task returns to the runqueue it blocked on.
@@ -50,6 +60,9 @@ func (m *Machine) step(limitMS int64) int64 {
 		for _, ts := range m.sleepers {
 			if ts.wakeAtMS <= m.nowMS {
 				ts.sleeping = false
+				if m.async {
+					m.activateCPU(ts.st.CPU)
+				}
 				m.Sched.RQ(ts.st.CPU).Enqueue(ts.st)
 				m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Wake, TaskID: ts.st.ID, CPU: int(ts.st.CPU), From: -1})
 			} else {
@@ -59,8 +72,12 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.sleepers = kept
 	}
 
-	// 2. Dispatch idle CPUs.
+	// 2. Dispatch idle CPUs (parked CPUs provably have empty queues:
+	// any enqueue un-parks the target first).
 	for c := 0; c < nCPU; c++ {
+		if m.cpuParked(c) {
+			continue
+		}
 		rq := m.Sched.RQ(topology.CPUID(c))
 		if rq.Current == nil {
 			if t := rq.PickNext(); t != nil {
@@ -76,7 +93,13 @@ func (m *Machine) step(limitMS int64) int64 {
 	// accounting is deferred until the quantum length is known.
 	throttledStep := m.throttledCPUs()
 	if m.unitThrottles != nil {
+		cores := layout.Cores()
 		for core, th := range m.unitThrottles {
+			if m.async && m.pkgParked[core/cores] {
+				// Dormant: temperatures are falling below the limit,
+				// so the engage decision cannot change (see async.go).
+				continue
+			}
 			maxT := 0.0
 			for _, n := range m.unitNodes[core] {
 				if n.TempC > maxT {
@@ -91,6 +114,9 @@ func (m *Machine) step(limitMS int64) int64 {
 		}
 	}
 	for c := 0; c < nCPU; c++ {
+		if m.cpuParked(c) {
+			continue // execSpeed stays 0; no runnable task, no trace edge
+		}
 		m.execSpeed[c] = 0
 		rq := m.Sched.RQ(topology.CPUID(c))
 		if rq.Current == nil {
@@ -139,8 +165,9 @@ func (m *Machine) step(limitMS int64) int64 {
 			if m.execSpeed[c] == 0 {
 				continue
 			}
-			for _, sib := range layout.Siblings(topology.CPUID(c)) {
-				if int(sib) != c && m.execSpeed[sib] > 0 {
+			core := layout.Core(topology.CPUID(c))
+			for t := 0; t < threads; t++ {
+				if sib := int(layout.CPUOfCore(core, t)); sib != c && m.execSpeed[sib] > 0 {
 					m.execSpeed[c] = m.Cfg.SMTSlowdown
 					break
 				}
@@ -175,11 +202,23 @@ func (m *Machine) step(limitMS int64) int64 {
 	// before returning.
 	m.nowMS += dt - 1
 	endMS := m.nowMS
-	for _, th := range m.throttles {
+	for i, th := range m.throttles {
+		if m.async && m.thrDormant[i] {
+			continue // accounted lazily when the group wakes
+		}
 		th.Account(dt)
 	}
-	for _, th := range m.unitThrottles {
-		th.Account(dt)
+	if m.unitThrottles != nil {
+		cores := layout.Cores()
+		for core, th := range m.unitThrottles {
+			if m.async && m.pkgParked[core/cores] {
+				continue
+			}
+			th.Account(dt)
+		}
+	}
+	if m.async {
+		m.accountDone = true
 	}
 	for c := 0; c < nCPU; c++ {
 		if throttledStep[c] && m.Sched.RQ(topology.CPUID(c)).Current != nil {
@@ -194,6 +233,14 @@ func (m *Machine) step(limitMS int64) int64 {
 	// exponential average composes identically to dt per-millisecond
 	// updates.
 	for c := 0; c < nCPU; c++ {
+		if m.async {
+			m.phase6CPU = c
+			if m.parked[c] && m.metricDormant(c) {
+				continue // settles lazily when observed
+			}
+			// Parked CPUs of a live throttle group fall through to the
+			// idle branch: the group reads their metric every step.
+		}
 		cpu := topology.CPUID(c)
 		speed := m.execSpeed[c]
 		if speed == 0 {
@@ -245,7 +292,18 @@ func (m *Machine) step(limitMS int64) int64 {
 	// single-core packages the coupling term vanishes and this is the
 	// paper's per-package RC model). The RC step is closed-form, so one
 	// dt-millisecond step equals dt single steps at the same power.
+	// Fully parked packages sit this phase out: their cores' effective
+	// power is the constant idle share, so the whole gap settles in one
+	// closed-form step when the package is next observed (async.go).
+	if m.async {
+		m.metricsDone = true
+		m.phase6CPU = -1
+	}
+	coresPerPkg := layout.Cores()
 	for core := range m.nodes {
+		if m.async && m.pkgParked[core/coresPerPkg] {
+			continue
+		}
 		sum := 0.0
 		for t := 0; t < threads; t++ {
 			sum += m.truePower[int(layout.CPUOfCore(core, t))]
@@ -254,12 +312,18 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.coreStartTemp[core] = m.nodes[core].TempC
 	}
 	for core := range m.nodes {
+		if m.async && m.pkgParked[core/coresPerPkg] {
+			continue
+		}
 		eff := m.coupledEffPower(m.corePower, core)
 		m.coreEff[core] = eff
 		m.nodes[core].StepExact(eff, fdt)
 	}
 	if m.unitNodes != nil {
 		for core := range m.unitNodes {
+			if m.async && m.pkgParked[core/coresPerPkg] {
+				continue
+			}
 			if dt == 1 {
 				// The lockstep path: hotspots ride on the core
 				// temperature just stepped.
@@ -284,8 +348,19 @@ func (m *Machine) step(limitMS int64) int64 {
 	// 8. Periodic balancing and hot-task checks, staggered per CPU on
 	// the deadline wheel. The batched planner guarantees no deadline
 	// falls strictly inside the quantum, so checking the end tick alone
-	// visits exactly the instants the lockstep loop visits.
+	// visits exactly the instants the lockstep loop visits. These
+	// passes read thermal power across the machine, so the async engine
+	// settles its deferred metrics first when any pass will evaluate;
+	// with nothing queued a parked CPU's pass is a provable no-op and
+	// is skipped outright.
+	if m.async {
+		m.thermalDone = true
+		m.syncBeforeDeadlines(endMS)
+	}
 	for c := 0; c < nCPU; c++ {
+		if m.cpuParked(c) && m.asyncQueued == 0 {
+			continue
+		}
 		cpu := topology.CPUID(c)
 		if m.wheel.BalanceDue(endMS, c) {
 			m.Sched.Balance(cpu)
@@ -296,12 +371,26 @@ func (m *Machine) step(limitMS int64) int64 {
 			m.Sched.Balance(cpu)
 		}
 		if m.wheel.HotDue(endMS, c) {
-			m.Sched.HotCheck(cpu)
+			if m.Sched.HotCheck(cpu) && m.async {
+				// The hot migration (or exchange) re-enqueued a
+				// running task, so a parked CPU's balance pass later
+				// this tick is no longer a provable no-op: refresh the
+				// queued count the loop's skip condition consults.
+				// (Deferred metrics were already settled: a due hot
+				// check makes syncBeforeDeadlines observe.)
+				m.asyncQueued = m.Sched.TotalQueued()
+			}
 		}
 	}
 
-	// 9. Metric sampling.
+	// 9. Metric sampling (the async engine settles deferred state
+	// first — the series must show every CPU and core at the sample
+	// instant).
 	if p := m.Cfg.MonitorPeriodMS; p > 0 && endMS%int64(p) == 0 {
+		if m.async {
+			m.settleDormantMetrics()
+			m.settleParkedPackages(endMS + 1)
+		}
 		for c := 0; c < nCPU; c++ {
 			m.tpSeries[c].Append(m.Sched.Power[c].ThermalPower())
 		}
@@ -312,6 +401,9 @@ func (m *Machine) step(limitMS int64) int64 {
 
 	// Advance the clock past the quantum.
 	m.nowMS++
+	if m.async {
+		m.parkIdleCPUs()
+	}
 	return dt
 }
 
@@ -350,6 +442,9 @@ func (m *Machine) throttledCPUs() []bool {
 		out[i] = false
 	}
 	for i, th := range m.throttles {
+		if m.async && m.thrDormant[i] {
+			continue // provably cannot engage while its CPUs idle
+		}
 		members := m.throttleMembers[i]
 		sum := 0.0
 		for _, cpu := range members {
@@ -422,6 +517,9 @@ func (m *Machine) blockTask(cpu topology.CPUID, ts *taskState, blockMS float64, 
 	ts.sleeping = true
 	ts.wakeAtMS = atMS + int64(blockMS)
 	m.sleepers = append(m.sleepers, ts)
+	if m.async {
+		m.wakePQ.Push(ts.wakeAtMS, ts.st.ID)
+	}
 	if t := rq.PickNext(); t != nil {
 		m.startDispatch(cpu, t, atMS)
 	}

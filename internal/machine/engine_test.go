@@ -134,6 +134,68 @@ func engineScenarios() []engineScenario {
 			runMS: 45_000,
 		},
 		{
+			// Sparse respawn: two finite tasks churning through
+			// completion → placement on a mostly-idle machine, so
+			// energy-aware placement repeatedly reads the metrics of
+			// parked CPUs mid-execution-phase (the async engine's
+			// settle-split path) and re-activates them.
+			name: "sparse-respawn",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 13,
+					PackageMaxPowerW: []float64{60},
+					RespawnFinished:  true,
+				})
+				m.Spawn(workload.WithWork(cat.Bitcnts(), 1500))
+				m.Spawn(workload.WithWork(cat.Memrw(), 2200))
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// Sparse unit-thermal: one task wandering a CMP machine
+			// under unit throttling, so whole packages park and settle
+			// their unit hotspots (StepOverBatched over the gap) and
+			// their unit-throttle accounting lazily.
+			name: "unit-sparse",
+			build: func(e Engine) *Machine {
+				pol := sched.DefaultConfig()
+				pol.UnitAwareBalancing = true
+				m := MustNew(Config{
+					Engine: e, Layout: topology.CMP2x2(),
+					Sched: pol, Seed: 17,
+					PackageProps:     []energyProps{props01(), props01()},
+					PackageMaxPowerW: []float64{100},
+					ThrottleEnabled:  true, Scope: ThrottlePerCore,
+					UnitThermal: true, UnitLimitC: 45,
+					MonitorPeriodMS: 2000,
+				})
+				m.Spawn(cat.Fpmix())
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// The async engine's motivating regime: a 64-logical-CPU
+			// server where most CPUs sleep (parking whole SMT+CMP
+			// packages) while two CPU-bound tasks stay hot, with
+			// periodic monitoring forcing settle points.
+			name: "wide-idle",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.Server64(),
+					Sched: sched.DefaultConfig(), Seed: 21,
+					PackageMaxPowerW: []float64{120}, MonitorPeriodMS: 1000,
+				})
+				m.SpawnN(cat.Sshd(), 3)
+				m.SpawnN(cat.Httpd(), 3)
+				m.SpawnN(cat.Bitcnts(), 2)
+				return m
+			},
+			runMS: 24_000,
+		},
+		{
 			// §2.3 task-throttling policy: per-tick head rotation while
 			// engaged (the planner's forced-lockstep path).
 			name: "task-throttling",
@@ -165,98 +227,115 @@ func relDiff(a, b float64) float64 {
 	return math.Abs(a-b) / den
 }
 
-// TestEngineEquivalence runs every scenario through both engines and
-// asserts the acceptance contract: exactly equal discrete outcomes,
+// TestEngineEquivalence runs every scenario through all three engines
+// and asserts the acceptance contract against the lockstep reference:
+// exactly equal discrete outcomes (completions, migrations with their
+// timestamps and reasons, throttle decisions, idle/halted ticks),
 // ≤1e-6 relative difference on temperatures and energies.
 func TestEngineEquivalence(t *testing.T) {
-	const tol = 1e-6
 	for _, sc := range engineScenarios() {
-		t.Run(sc.name, func(t *testing.T) {
-			lock := sc.build(EngineLockstep)
-			bat := sc.build(EngineBatched)
-			// Advance in chunks to also exercise Run-boundary clamping.
-			for i := 0; i < 3; i++ {
-				lock.Run(sc.runMS / 3)
-				bat.Run(sc.runMS / 3)
-			}
-			if lock.NowMS() != bat.NowMS() {
-				t.Fatalf("clocks diverged: %d vs %d", lock.NowMS(), bat.NowMS())
-			}
-			if lock.Completions != bat.Completions {
-				t.Errorf("completions: lockstep %d vs batched %d", lock.Completions, bat.Completions)
-			}
-			for prog, n := range lock.CompletionsByProg {
-				if bat.CompletionsByProg[prog] != n {
-					t.Errorf("completions[%s]: %d vs %d", prog, n, bat.CompletionsByProg[prog])
+		// The slow lockstep reference runs once per scenario; both
+		// fast engines are asserted against the same machine.
+		lock := sc.build(EngineLockstep)
+		lock.Run(sc.runMS)
+		for _, engine := range []Engine{EngineBatched, EngineAsync} {
+			t.Run(sc.name+"/"+engine.String(), func(t *testing.T) {
+				got := sc.build(engine)
+				// Advance in chunks to also exercise Run-boundary
+				// clamping (and, for async, the end-of-Run settling).
+				for i := 0; i < 3; i++ {
+					got.Run(sc.runMS / 3)
 				}
-			}
-			if lock.MigrationCount() != bat.MigrationCount() {
-				t.Errorf("migrations: %d vs %d", lock.MigrationCount(), bat.MigrationCount())
-			}
-			if lock.Sched.MigrationsByReason != bat.Sched.MigrationsByReason {
-				t.Errorf("migrations by reason: %v vs %v",
-					lock.Sched.MigrationsByReason, bat.Sched.MigrationsByReason)
-			}
-			if len(lock.Migrations) == len(bat.Migrations) {
-				for i := range lock.Migrations {
-					if lock.Migrations[i] != bat.Migrations[i] {
-						t.Errorf("migration %d differs: %+v vs %+v", i, lock.Migrations[i], bat.Migrations[i])
-						break
-					}
+				if rem := sc.runMS - 3*(sc.runMS/3); rem > 0 {
+					got.Run(rem)
 				}
-			} else {
-				t.Errorf("migration event counts: %d vs %d", len(lock.Migrations), len(bat.Migrations))
+				assertEquivalent(t, lock, got)
+			})
+		}
+	}
+}
+
+// assertEquivalent asserts the cross-engine contract between a lockstep
+// reference machine and another engine's machine after identical runs.
+func assertEquivalent(t *testing.T, lock, bat *Machine) {
+	t.Helper()
+	const tol = 1e-6
+	if lock.NowMS() != bat.NowMS() {
+		t.Fatalf("clocks diverged: %d vs %d", lock.NowMS(), bat.NowMS())
+	}
+	if lock.Completions != bat.Completions {
+		t.Errorf("completions: lockstep %d vs %s %d", lock.Completions, bat.Cfg.Engine, bat.Completions)
+	}
+	for prog, n := range lock.CompletionsByProg {
+		if bat.CompletionsByProg[prog] != n {
+			t.Errorf("completions[%s]: %d vs %d", prog, n, bat.CompletionsByProg[prog])
+		}
+	}
+	if lock.MigrationCount() != bat.MigrationCount() {
+		t.Errorf("migrations: %d vs %d", lock.MigrationCount(), bat.MigrationCount())
+	}
+	if lock.Sched.MigrationsByReason != bat.Sched.MigrationsByReason {
+		t.Errorf("migrations by reason: %v vs %v",
+			lock.Sched.MigrationsByReason, bat.Sched.MigrationsByReason)
+	}
+	if len(lock.Migrations) == len(bat.Migrations) {
+		for i := range lock.Migrations {
+			if lock.Migrations[i] != bat.Migrations[i] {
+				t.Errorf("migration %d differs: %+v vs %+v", i, lock.Migrations[i], bat.Migrations[i])
+				break
 			}
-			nCPU := lock.Cfg.Layout.NumLogical()
-			for c := 0; c < nCPU; c++ {
-				cpu := topology.CPUID(c)
-				if lock.haltedTicks[c] != bat.haltedTicks[c] {
-					t.Errorf("cpu %d halted ticks: %d vs %d", c, lock.haltedTicks[c], bat.haltedTicks[c])
-				}
-				if lock.idleTicks[c] != bat.idleTicks[c] {
-					t.Errorf("cpu %d idle ticks: %d vs %d", c, lock.idleTicks[c], bat.idleTicks[c])
-				}
-				if d := relDiff(lock.Sched.Power[c].ThermalPower(), bat.Sched.Power[c].ThermalPower()); d > tol {
-					t.Errorf("cpu %d thermal power rel diff %.2e", c, d)
-				}
-				if lock.ThrottledFrac(cpu) != bat.ThrottledFrac(cpu) {
-					t.Errorf("cpu %d throttled frac: %v vs %v", c, lock.ThrottledFrac(cpu), bat.ThrottledFrac(cpu))
-				}
-			}
-			for core := range lock.nodes {
-				if d := relDiff(lock.CoreTemp(core), bat.CoreTemp(core)); d > tol {
-					t.Errorf("core %d temp rel diff %.2e (%.6f vs %.6f)",
-						core, d, lock.CoreTemp(core), bat.CoreTemp(core))
-				}
-			}
-			if lock.unitNodes != nil {
-				if d := relDiff(lock.MaxUnitTemp(), bat.MaxUnitTemp()); d > tol {
-					t.Errorf("max unit temp rel diff %.2e", d)
-				}
-			}
-			if d := relDiff(lock.WorkDoneMS, bat.WorkDoneMS); d > 1e-9 {
-				t.Errorf("work done rel diff %.2e", d)
-			}
-			// Tasks ended up in identical scheduler states.
-			if lock.Sched.TotalTasks() != bat.Sched.TotalTasks() || len(lock.sleepers) != len(bat.sleepers) {
-				t.Errorf("task states differ: %d/%d runnable, %d/%d asleep",
-					lock.Sched.TotalTasks(), bat.Sched.TotalTasks(), len(lock.sleepers), len(bat.sleepers))
-			}
-			for id, lts := range lock.tasks {
-				bts, ok := bat.tasks[id]
-				if !ok {
-					t.Errorf("task %d missing from batched machine", id)
-					continue
-				}
-				if lts.st.CPU != bts.st.CPU || lts.sleeping != bts.sleeping || lts.wakeAtMS != bts.wakeAtMS {
-					t.Errorf("task %d state: cpu %d/%d sleeping %v/%v wake %d/%d", id,
-						lts.st.CPU, bts.st.CPU, lts.sleeping, bts.sleeping, lts.wakeAtMS, bts.wakeAtMS)
-				}
-				if d := relDiff(lts.st.Profile.Watts(), bts.st.Profile.Watts()); d > tol {
-					t.Errorf("task %d profile rel diff %.2e", id, d)
-				}
-			}
-		})
+		}
+	} else {
+		t.Errorf("migration event counts: %d vs %d", len(lock.Migrations), len(bat.Migrations))
+	}
+	nCPU := lock.Cfg.Layout.NumLogical()
+	for c := 0; c < nCPU; c++ {
+		cpu := topology.CPUID(c)
+		if lock.haltedTicks[c] != bat.haltedTicks[c] {
+			t.Errorf("cpu %d halted ticks: %d vs %d", c, lock.haltedTicks[c], bat.haltedTicks[c])
+		}
+		if lock.idleTicks[c] != bat.idleTicks[c] {
+			t.Errorf("cpu %d idle ticks: %d vs %d", c, lock.idleTicks[c], bat.idleTicks[c])
+		}
+		if d := relDiff(lock.Sched.Power[c].ThermalPower(), bat.Sched.Power[c].ThermalPower()); d > tol {
+			t.Errorf("cpu %d thermal power rel diff %.2e", c, d)
+		}
+		if lock.ThrottledFrac(cpu) != bat.ThrottledFrac(cpu) {
+			t.Errorf("cpu %d throttled frac: %v vs %v", c, lock.ThrottledFrac(cpu), bat.ThrottledFrac(cpu))
+		}
+	}
+	for core := range lock.nodes {
+		if d := relDiff(lock.CoreTemp(core), bat.CoreTemp(core)); d > tol {
+			t.Errorf("core %d temp rel diff %.2e (%.6f vs %.6f)",
+				core, d, lock.CoreTemp(core), bat.CoreTemp(core))
+		}
+	}
+	if lock.unitNodes != nil {
+		if d := relDiff(lock.MaxUnitTemp(), bat.MaxUnitTemp()); d > tol {
+			t.Errorf("max unit temp rel diff %.2e", d)
+		}
+	}
+	if d := relDiff(lock.WorkDoneMS, bat.WorkDoneMS); d > 1e-9 {
+		t.Errorf("work done rel diff %.2e", d)
+	}
+	// Tasks ended up in identical scheduler states.
+	if lock.Sched.TotalTasks() != bat.Sched.TotalTasks() || len(lock.sleepers) != len(bat.sleepers) {
+		t.Errorf("task states differ: %d/%d runnable, %d/%d asleep",
+			lock.Sched.TotalTasks(), bat.Sched.TotalTasks(), len(lock.sleepers), len(bat.sleepers))
+	}
+	for id, lts := range lock.tasks {
+		bts, ok := bat.tasks[id]
+		if !ok {
+			t.Errorf("task %d missing from %s machine", id, bat.Cfg.Engine)
+			continue
+		}
+		if lts.st.CPU != bts.st.CPU || lts.sleeping != bts.sleeping || lts.wakeAtMS != bts.wakeAtMS {
+			t.Errorf("task %d state: cpu %d/%d sleeping %v/%v wake %d/%d", id,
+				lts.st.CPU, bts.st.CPU, lts.sleeping, bts.sleeping, lts.wakeAtMS, bts.wakeAtMS)
+		}
+		if d := relDiff(lts.st.Profile.Watts(), bts.st.Profile.Watts()); d > tol {
+			t.Errorf("task %d profile rel diff %.2e", id, d)
+		}
 	}
 }
 
@@ -283,7 +362,8 @@ func TestBatchedEngineQuantaAreLarge(t *testing.T) {
 
 // TestEngineString covers the Engine stringer.
 func TestEngineString(t *testing.T) {
-	if EngineBatched.String() != "batched" || EngineLockstep.String() != "lockstep" {
+	if EngineBatched.String() != "batched" || EngineLockstep.String() != "lockstep" ||
+		EngineAsync.String() != "async" {
 		t.Error("engine names wrong")
 	}
 	if s := Engine(9).String(); s != fmt.Sprintf("engine(%d)", 9) {

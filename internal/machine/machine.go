@@ -18,12 +18,16 @@
 //  6. handles timeslice expiry, blocking, and completion,
 //  7. runs due balancer and hot-task-migration deadlines.
 //
-// Two engines drive that step (see Engine): the lockstep engine fixes
-// the quantum at 1 ms — the classic tick loop — while the default
+// Three engines drive that step (see Engine): the lockstep engine
+// fixes the quantum at 1 ms — the classic tick loop; the default
 // batched engine plans, per step, the largest quantum over which the
-// machine state is provably constant (see batched.go) and integrates it
-// in one pass. The engines produce equivalent results for the same
-// seed; the batched engine is several times faster.
+// machine state is provably constant (see batched.go) and integrates
+// it in one pass; and the async engine adds per-CPU clocks on top of
+// the batched planner (see async.go), parking idle CPUs entirely and
+// settling their state lazily when observed. The engines produce
+// equivalent results for the same seed; batched is several times
+// faster than lockstep, and async several times faster again on
+// machines that are mostly idle.
 package machine
 
 import (
@@ -85,7 +89,29 @@ const (
 	// every logical CPU is simulated individually. It serves as the
 	// reference for cross-engine equivalence tests and as a fallback.
 	EngineLockstep
+	// EngineAsync is the discrete-event core (async.go): per-CPU
+	// clocks over the batched planner. Idle CPUs are parked — excluded
+	// from per-step work entirely — and their metric, throttle, and
+	// thermal state settles lazily in closed form whenever another CPU
+	// observes them, so idle-heavy and mixed workloads pay only for
+	// the CPUs that are actually busy. Produces the same scheduling
+	// decisions as the other engines (see TestEngineEquivalence).
+	EngineAsync
 )
+
+// ParseEngine parses an engine name — the values accepted by the CLI
+// tools' -engine flags.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "batched":
+		return EngineBatched, nil
+	case "lockstep":
+		return EngineLockstep, nil
+	case "async":
+		return EngineAsync, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want lockstep, batched, or async)", s)
+}
 
 // String names the engine.
 func (e Engine) String() string {
@@ -94,6 +120,8 @@ func (e Engine) String() string {
 		return "batched"
 	case EngineLockstep:
 		return "lockstep"
+	case EngineAsync:
+		return "async"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
@@ -257,6 +285,26 @@ type Machine struct {
 	maxQuantum int64        // resolved MaxQuantumMS
 	hotArmed   bool         // hot-check deadlines can ever act
 
+	// Async-engine state (see async.go; nil/zero for other engines).
+	async        bool
+	nParked      int               // count of parked CPUs
+	parked       []bool            // per logical CPU: out of the per-step path
+	cpuSettledMS []int64           // per CPU: first tick not yet in its metric
+	pkgParked    []bool            // per package: thermal state frozen
+	pkgSettledMS []int64           // per package: first unintegrated tick
+	thrDormant   []bool            // per scalar throttle: evaluation skipped
+	thrSettledMS []int64           // per throttle: first unaccounted tick
+	throttleOf   []int             // cpu → scalar throttle index, -1 if none
+	idleEffW     float64           // core effective power, whole package idle
+	wakePQ       *sched.EventQueue // pending wake-ups (lazy deletion)
+	asyncQueued  int               // queued count at the deadline phase
+	// Per-step phase markers driving the settle targets.
+	qStartMS    int64 // first tick of the quantum being stepped
+	phase6CPU   int   // CPU the execution loop is at (-1 outside it)
+	metricsDone bool  // execution phase finished this step
+	thermalDone bool  // thermal phase finished this step
+	accountDone bool  // throttle accounting finished this step
+
 	// Precomputed per-step constants.
 	idleShareW float64 // true idle power per logical CPU (W)
 	estIdleJ   float64 // estimated idle energy per logical CPU per ms (J)
@@ -375,7 +423,7 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("machine: %d budgets for %d packages", len(cfg.PackageMaxPowerW), nPkg)
 	}
 
-	if cfg.Engine != EngineBatched && cfg.Engine != EngineLockstep {
+	if cfg.Engine != EngineBatched && cfg.Engine != EngineLockstep && cfg.Engine != EngineAsync {
 		return nil, fmt.Errorf("machine: unknown engine %d", int(cfg.Engine))
 	}
 	if cfg.MaxQuantumMS == 0 {
@@ -529,11 +577,18 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	m.Sched.Hooks.AfterMigrate = func(t *sched.Task, from, to topology.CPUID, reason sched.MigrationReason) {
+		if m.async {
+			m.activateCPU(to)
+		}
 		m.Migrations = append(m.Migrations, MigrationEvent{
 			TimeMS: m.nowMS, TaskID: t.ID, From: from, To: to, Reason: reason,
 		})
 		m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Migrate, TaskID: t.ID,
 			CPU: int(to), From: int(from), Detail: reason.String()})
+	}
+	// Async parking state depends on the throttle groups built above.
+	if cfg.Engine == EngineAsync {
+		m.initAsync()
 	}
 	return m, nil
 }
@@ -565,7 +620,16 @@ func (m *Machine) Spawn(prog *workload.Program) *sched.Task {
 		prog: prog,
 	}
 	m.tasks[id] = ts
+	if m.async {
+		// Placement reads runqueue ratios and thermal powers across
+		// the whole machine; deferred idle metrics must be settled
+		// first, and the chosen CPU rejoins the per-step path.
+		m.settleDormantMetrics()
+	}
 	cpu := m.Sched.PlaceNewTask(st)
+	if m.async {
+		m.activateCPU(cpu)
+	}
 	m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Spawn, TaskID: id, CPU: int(cpu), From: -1, Detail: prog.Name})
 	return st
 }

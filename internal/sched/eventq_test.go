@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventQueueOrdersByTime(t *testing.T) {
+	q := NewEventQueue(8)
+	times := []int64{50, 10, 30, 20, 40}
+	for i, at := range times {
+		q.Push(at, i)
+	}
+	want := append([]int64(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for _, w := range want {
+		if got := q.PeekTime(); got != w {
+			t.Fatalf("PeekTime = %d, want %d", got, w)
+		}
+		at, _, ok := q.Pop()
+		if !ok || at != w {
+			t.Fatalf("Pop = %d,%v, want %d", at, ok, w)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	if q.PeekTime() != NoDeadline {
+		t.Fatal("empty queue PeekTime != NoDeadline")
+	}
+}
+
+// Equal-time events must pop in insertion order — the engine relies on
+// this to reproduce the lockstep loop's in-order wake scan.
+func TestEventQueueStableForEqualTimes(t *testing.T) {
+	q := NewEventQueue(0)
+	q.Push(7, 100)
+	q.Push(5, 0)
+	q.Push(5, 1)
+	q.Push(5, 2)
+	for want := 0; want < 3; want++ {
+		at, p, ok := q.Pop()
+		if !ok || at != 5 || p != want {
+			t.Fatalf("pop %d: got (%d,%d,%v)", want, at, p, ok)
+		}
+	}
+	if at, p, ok := q.Peek(); !ok || at != 7 || p != 100 {
+		t.Fatalf("Peek = (%d,%d,%v), want (7,100,true)", at, p, ok)
+	}
+}
+
+func TestEventQueueRandomizedAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	q := NewEventQueue(0)
+	type ev struct {
+		at  int64
+		seq int
+	}
+	var ref []ev
+	for i := 0; i < 500; i++ {
+		at := int64(r.Intn(100))
+		q.Push(at, i)
+		ref = append(ref, ev{at, i})
+	}
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].at < ref[j].at })
+	for i, want := range ref {
+		at, p, ok := q.Pop()
+		if !ok || at != want.at || p != want.seq {
+			t.Fatalf("pop %d: got (%d,%d,%v), want (%d,%d)", i, at, p, ok, want.at, want.seq)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+	q.Push(3, 9)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("Reset did not empty the queue")
+	}
+}

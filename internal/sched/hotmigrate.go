@@ -16,8 +16,11 @@ import (
 // core is the whole package; on a §7 CMP each core is a heat source of
 // its own. For non-SMT layouts this degenerates to the §4.5 wording.
 func (s *Scheduler) HotTrigger(cpu topology.CPUID) bool {
+	l := s.Topo.Layout
+	core := l.Core(cpu)
 	var tp, maxP float64
-	for _, c := range s.Topo.Layout.Siblings(cpu) {
+	for t := 0; t < l.ThreadsPerPackage; t++ {
+		c := l.CPUOfCore(core, t)
 		tp += s.ThermalPower(c)
 		maxP += s.MaxPower(c)
 	}
@@ -86,7 +89,8 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 		}
 		// Within the coolest core: "CPU idle?" → migrate there.
 		var idle, exch topology.CPUID = -1, -1
-		for _, c := range s.Topo.Layout.Siblings(s.Topo.Layout.CPUOfCore(destCore, 0)) {
+		for t := 0; t < s.Topo.Layout.ThreadsPerPackage; t++ {
+			c := s.Topo.Layout.CPUOfCore(destCore, t)
 			dstRQ := s.RQ(c)
 			if dstRQ.Idle() && idle < 0 {
 				idle = c
@@ -114,11 +118,15 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 
 // CoreThermalSum returns the summed thermal power of all logical CPUs
 // on cpu's physical core — the quantity that corresponds to the core's
-// temperature (§4.7; per-core on a §7 CMP).
+// temperature (§4.7; per-core on a §7 CMP). It iterates the siblings
+// directly (rather than via Siblings) to stay allocation-free: it runs
+// per candidate core inside every hot-task check.
 func (s *Scheduler) CoreThermalSum(cpu topology.CPUID) float64 {
+	l := s.Topo.Layout
+	core := l.Core(cpu)
 	sum := 0.0
-	for _, c := range s.Topo.Layout.Siblings(cpu) {
-		sum += s.ThermalPower(c)
+	for t := 0; t < l.ThreadsPerPackage; t++ {
+		sum += s.ThermalPower(l.CPUOfCore(core, t))
 	}
 	return sum
 }
@@ -126,9 +134,13 @@ func (s *Scheduler) CoreThermalSum(cpu topology.CPUID) float64 {
 // PackageThermalSum returns the summed thermal power of all logical
 // CPUs on cpu's physical package (all cores).
 func (s *Scheduler) PackageThermalSum(cpu topology.CPUID) float64 {
+	l := s.Topo.Layout
+	p := l.Package(cpu)
 	sum := 0.0
-	for _, c := range s.Topo.Layout.PackageCPUs(s.Topo.Layout.Package(cpu)) {
-		sum += s.ThermalPower(c)
+	for c := p * l.Cores(); c < (p+1)*l.Cores(); c++ {
+		for t := 0; t < l.ThreadsPerPackage; t++ {
+			sum += s.ThermalPower(l.CPUOfCore(c, t))
+		}
 	}
 	return sum
 }

@@ -125,11 +125,17 @@ type Diode struct {
 func DefaultDiode() Diode { return Diode{ResolutionC: 1, ReadCostMS: 4} }
 
 // Read returns the quantized temperature of the node.
-func (d Diode) Read(n *Node) float64 {
+func (d Diode) Read(n *Node) float64 { return d.Quantize(n.TempC) }
+
+// Quantize applies the diode's output quantization to a temperature —
+// for callers that observe a temperature through another surface (e.g.
+// a whole-machine simulation) rather than a bare thermal node. A
+// non-positive resolution means an exact diode.
+func (d Diode) Quantize(tempC float64) float64 {
 	if d.ResolutionC <= 0 {
-		return n.TempC
+		return tempC
 	}
-	return math.Floor(n.TempC/d.ResolutionC) * d.ResolutionC
+	return math.Floor(tempC/d.ResolutionC) * d.ResolutionC
 }
 
 // ThermalPowerWeight converts the RC time constant into the per-update

@@ -62,6 +62,20 @@ func CMP2x2() Layout {
 	return Layout{Nodes: 1, PackagesPerNode: 2, CoresPerPackage: 2, ThreadsPerPackage: 1}
 }
 
+// Server64 is a larger-than-paper machine for scaling studies: two NUMA
+// nodes of eight dual-core SMT packages each — 32 cores, 64 logical
+// CPUs. The domain hierarchy gains all four levels (smt, mc, node,
+// top).
+func Server64() Layout {
+	return Layout{Nodes: 2, PackagesPerNode: 8, CoresPerPackage: 2, ThreadsPerPackage: 2}
+}
+
+// Server256 is the largest reference layout: four NUMA nodes of sixteen
+// dual-core SMT packages — 128 cores, 256 logical CPUs.
+func Server256() Layout {
+	return Layout{Nodes: 4, PackagesPerNode: 16, CoresPerPackage: 2, ThreadsPerPackage: 2}
+}
+
 // Validate reports an error if the layout is degenerate.
 func (l Layout) Validate() error {
 	if l.Nodes < 1 || l.PackagesPerNode < 1 || l.ThreadsPerPackage < 1 || l.CoresPerPackage < 0 {

@@ -393,3 +393,39 @@ func TestQuickCMPNumberingRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The larger-than-paper server layouts: shape, and a full four-level
+// domain hierarchy (smt, mc, node, top).
+func TestServerLayouts(t *testing.T) {
+	cases := []struct {
+		layout  Layout
+		logical int
+		cores   int
+	}{
+		{Server64(), 64, 32},
+		{Server256(), 256, 128},
+	}
+	for _, c := range cases {
+		if n := c.layout.NumLogical(); n != c.logical {
+			t.Errorf("%+v: NumLogical = %d, want %d", c.layout, n, c.logical)
+		}
+		if n := c.layout.NumCores(); n != c.cores {
+			t.Errorf("%+v: NumCores = %d, want %d", c.layout, n, c.cores)
+		}
+		topo := MustNew(c.layout)
+		chain := topo.DomainsFor(0)
+		want := []string{"smt", "mc", "node", "top"}
+		if len(chain) != len(want) {
+			t.Fatalf("%+v: %d domain levels, want %d", c.layout, len(chain), len(want))
+		}
+		for i, d := range chain {
+			if d.Name != want[i] {
+				t.Errorf("%+v: level %d = %q, want %q", c.layout, i, d.Name, want[i])
+			}
+		}
+		top := chain[len(chain)-1]
+		if len(top.Span) != c.logical || len(top.Groups) != c.layout.Nodes {
+			t.Errorf("%+v: top span %d groups %d", c.layout, len(top.Span), len(top.Groups))
+		}
+	}
+}

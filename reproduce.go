@@ -42,14 +42,16 @@ func ReproduceTable1(seed uint64, slices int) []Table1Row {
 }
 
 // ReproduceTable2 regenerates Table 2 (program powers) from a solo run
-// of runMS milliseconds per program.
-func ReproduceTable2(seed uint64, runMS int) []Table2Row {
+// of runMS milliseconds per program. It returns an error when the §3.2
+// energy-weight calibration the table depends on fails.
+func ReproduceTable2(seed uint64, runMS int) ([]Table2Row, error) {
 	return experiments.Table2(seed, runMS)
 }
 
 // ReproduceTable3 regenerates Table 3 (CPU throttling percentages and
-// the §6.2 throughput gain) with the default configuration.
-func ReproduceTable3(seed uint64) Table3Result {
+// the §6.2 throughput gain) with the default configuration. It returns
+// an error when the §3.2 calibration fails.
+func ReproduceTable3(seed uint64) (Table3Result, error) {
 	cfg := experiments.DefaultTable3Config()
 	cfg.Seed = seed
 	return experiments.Table3(cfg)
