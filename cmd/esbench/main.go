@@ -23,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -47,13 +49,56 @@ type Result struct {
 	CPUMSPerS float64 `json:"cpu_ms_per_s"`
 }
 
-// Report is the document esbench writes.
+// Report is the document esbench writes. GitSHA, GoVersion, and the
+// per-benchmark Engine make every record in the committed perf
+// trajectory attributable: which revision, which toolchain, which
+// simulation core produced the number.
 type Report struct {
 	Date       string   `json:"date"`
+	GitSHA     string   `json:"git_sha,omitempty"`
 	GoVersion  string   `json:"go_version"`
 	GOARCH     string   `json:"goarch"`
 	Quick      bool     `json:"quick"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// gitSHA returns the revision of the benchmarked code (plus a "-dirty"
+// suffix for a modified tree), or "" when unknown. The binary's own
+// embedded VCS stamp is preferred — it names the revision the code was
+// actually built from; the git subprocess fallback (go run strips the
+// stamp) resolves against the working directory, which for a
+// benchmarking run is the checkout under test.
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	// -uno: tracked changes only (vcs.modified semantics) — esbench's
+	// own untracked BENCH_*.json output must not dirty later runs.
+	if dirty, err := exec.Command("git", "status", "--porcelain", "-uno").Output(); err == nil && len(dirty) > 0 {
+		sha += "-dirty"
+	}
+	return sha
 }
 
 // measure runs one scenario on one engine: warm up, then repeat timed
@@ -83,17 +128,15 @@ func measure(sc benchscen.Scenario, e machine.Engine, minTime time.Duration) Res
 func parseEngines(s string) ([]machine.Engine, error) {
 	var out []machine.Engine
 	for _, name := range strings.Split(s, ",") {
-		switch strings.TrimSpace(name) {
-		case "lockstep":
-			out = append(out, machine.EngineLockstep)
-		case "batched":
-			out = append(out, machine.EngineBatched)
-		case "async":
-			out = append(out, machine.EngineAsync)
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown engine %q (want lockstep, batched, or async)", name)
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
 		}
+		e, err := machine.ParseEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no engines selected")
@@ -121,6 +164,7 @@ func main() {
 	date := time.Now().UTC().Format("2006-01-02")
 	rep := Report{
 		Date:      date,
+		GitSHA:    gitSHA(),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		Quick:     *quick,

@@ -20,10 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 
 	"energysched/internal/counters"
 	"energysched/internal/energy"
+	"energysched/internal/experiments"
 	"energysched/internal/machine"
 	"energysched/internal/rng"
 	"energysched/internal/sched"
@@ -35,13 +35,9 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 2006, "random seed")
 	noise := flag.Float64("noise", 0.02, "multimeter 1-sigma relative noise")
-	engineName := flag.String("engine", "batched", "simulation engine: lockstep, batched, or async")
+	enginePtr := experiments.EngineFlag(nil)
 	flag.Parse()
-	engine, err := machine.ParseEngine(*engineName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	engine := *enginePtr
 
 	model := energy.DefaultTrueModel()
 	r := rng.New(*seed)

@@ -22,6 +22,8 @@
 //	ablation    §4.3 balancer-metric + §4.6 placement ablations
 //	policies    CPU vs hot-task throttling vs migration (§2.3)
 //	units       §7 functional-unit (multiple-temperature) extension
+//	dvfs        DVFS governors vs hlt throttling: energy, makespan,
+//	            peak temperature, halted vs downclocked fractions
 //	sweeps      sensitivity sweeps for the unpublished tuning constants
 //	cmp         §7 chip-multiprocessor extension
 //	all         everything above, full length
@@ -34,6 +36,8 @@
 //	-engine E    simulation engine: lockstep, batched (default), or
 //	             async — the engines produce identical results, so any
 //	             experiment can be reproduced on any core
+//	-governor G  DVFS governor highlighted by the dvfs experiment:
+//	             performance, ondemand (default), or thermal
 package main
 
 import (
@@ -43,7 +47,6 @@ import (
 	"strings"
 
 	"energysched/internal/experiments"
-	"energysched/internal/machine"
 	"energysched/internal/stats"
 	"energysched/internal/textplot"
 )
@@ -52,21 +55,17 @@ func main() {
 	seed := flag.Uint64("seed", 2006, "random seed")
 	quick := flag.Bool("quick", false, "shortened runs")
 	csv := flag.Bool("csv", false, "emit raw CSV series")
-	engineName := flag.String("engine", "batched", "simulation engine: lockstep, batched, or async")
+	engine := experiments.EngineFlag(nil)
+	governor := experiments.GovernorFlag(nil)
 	flag.Usage = usage
 	flag.Parse()
-	engine, err := machine.ParseEngine(*engineName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	experiments.Engine = engine
+	experiments.Engine = *engine
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-	r := runner{seed: *seed, quick: *quick, csv: *csv}
+	r := runner{seed: *seed, quick: *quick, csv: *csv, governor: *governor}
 	if !r.run(cmd) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", cmd)
 		usage()
@@ -75,14 +74,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] <experiment>")
-	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units sweeps all")
+	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] [-governor G] <experiment>")
+	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units dvfs sweeps all")
 }
 
 type runner struct {
-	seed  uint64
-	quick bool
-	csv   bool
+	seed     uint64
+	quick    bool
+	csv      bool
+	governor string
 }
 
 // fail aborts on an experiment error (e.g. a calibration failure).
@@ -221,6 +221,19 @@ func (r runner) run(cmd string) bool {
 		fmt.Print(experiments.FormatPolicyComparison(experiments.PolicyComparison(r.seed, r.scale(240000))))
 	case "units":
 		fmt.Print(experiments.FormatUnitAware(experiments.UnitAware(r.seed, r.scale(240000))))
+	case "dvfs":
+		cfg := experiments.DefaultDVFSComparisonConfig()
+		cfg.Seed = r.seed
+		cfg.WorkMS = float64(r.scale(int64(cfg.WorkMS)))
+		// The -governor flag's pick leads the comparison table.
+		govs := []string{r.governor}
+		for _, g := range cfg.Governors {
+			if g != r.governor {
+				govs = append(govs, g)
+			}
+		}
+		cfg.Governors = govs
+		fmt.Print(experiments.FormatDVFSComparison(experiments.DVFSvsThrottle(cfg)))
 	case "sweeps":
 		fmt.Print(experiments.FormatHysteresis(experiments.SweepHysteresis(r.seed, r.scale(300000))))
 		fmt.Println()
@@ -228,7 +241,7 @@ func (r runner) run(cmd string) bool {
 		fmt.Println()
 		fmt.Print(experiments.FormatDestGap(experiments.SweepDestGap(r.seed, r.scale(300000))))
 	case "all":
-		for _, c := range []string{"table1", "table2", "table3", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "hotspeed", "migrations", "ablation", "cmp", "policies", "units", "sweeps"} {
+		for _, c := range []string{"table1", "table2", "table3", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "hotspeed", "migrations", "ablation", "cmp", "policies", "units", "dvfs", "sweeps"} {
 			fmt.Printf("==== %s ====\n", c)
 			r.run(c)
 			fmt.Println()

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	estrace [-scenario hottask|mixed|cmp] [-engine lockstep|batched|async]
+//	estrace [-scenario hottask|mixed|cmp|dvfs] [-engine lockstep|batched|async]
+//	        [-governor performance|ondemand|thermal]
 //	        [-duration 60s] [-seed N] [-format csv|jsonl]
 package main
 
@@ -17,6 +18,8 @@ import (
 	"os"
 	"time"
 
+	"energysched/internal/dvfs"
+	"energysched/internal/experiments"
 	"energysched/internal/machine"
 	"energysched/internal/sched"
 	"energysched/internal/thermal"
@@ -28,21 +31,17 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "hottask", "scenario: hottask, mixed, or cmp")
+	scenario := flag.String("scenario", "hottask", "scenario: hottask, mixed, cmp, or dvfs")
 	duration := flag.Duration("duration", 60*time.Second, "simulated duration")
 	seed := flag.Uint64("seed", 7, "random seed")
 	format := flag.String("format", "csv", "output format: csv or jsonl")
 	limit := flag.Int("limit", 0, "retain at most N events (0 = all)")
-	engineName := flag.String("engine", "batched", "simulation engine: lockstep, batched, or async")
+	engine := experiments.EngineFlag(nil)
+	governor := experiments.GovernorFlag(nil)
 	flag.Parse()
 
-	engine, err := machine.ParseEngine(*engineName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 	rec := trace.New(*limit)
-	m, err := build(*scenario, *seed, rec, engine)
+	m, err := build(*scenario, *seed, rec, *engine, *governor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -68,8 +67,9 @@ func main() {
 
 // build assembles the requested scenario machine with tracing attached,
 // running on the requested simulation engine (the engines produce
-// identical traces; see machine.TestEngineEquivalence).
-func build(name string, seed uint64, rec *trace.Recorder, engine machine.Engine) (*machine.Machine, error) {
+// identical traces; see machine.TestEngineEquivalence). governor only
+// affects the dvfs scenario.
+func build(name string, seed uint64, rec *trace.Recorder, engine machine.Engine, governor string) (*machine.Machine, error) {
 	cat := workload.NewCatalog(energy.DefaultTrueModel())
 	uniform := func(n int, r float64) []thermal.Properties {
 		props := make([]thermal.Properties, n)
@@ -133,6 +133,30 @@ func build(name string, seed uint64, rec *trace.Recorder, engine machine.Engine)
 		}
 		m.Spawn(cat.Bitcnts())
 		return m, nil
+	case "dvfs":
+		// Frequency scaling on the hot-task machine: one bitcnts plus
+		// interactive tasks, the selected governor picking P-states
+		// (pstate events land in the trace), throttle armed as
+		// backstop.
+		m, err := machine.New(machine.Config{
+			Engine:           engine,
+			Layout:           topology.XSeries445NoSMT(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             seed,
+			PackageProps:     uniform(8, 0.2),
+			PackageMaxPowerW: []float64{40},
+			ThrottleEnabled:  true,
+			Scope:            machine.ThrottlePerLogical,
+			DVFS:             &dvfs.Config{Governor: governor},
+			Trace:            rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Spawn(cat.Bitcnts())
+		m.SpawnN(cat.Bash(), 2)
+		m.SpawnN(cat.Sshd(), 2)
+		return m, nil
 	}
-	return nil, fmt.Errorf("unknown scenario %q (want hottask, mixed, or cmp)", name)
+	return nil, fmt.Errorf("unknown scenario %q (want hottask, mixed, cmp, or dvfs)", name)
 }

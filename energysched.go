@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"energysched/internal/counters"
+	"energysched/internal/dvfs"
 	"energysched/internal/energy"
 	"energysched/internal/machine"
 	"energysched/internal/rng"
@@ -72,6 +73,13 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one recorded scheduler event.
 	TraceEvent = trace.Event
+	// DVFSConfig configures per-CPU frequency scaling (P-state ladder,
+	// governor, evaluation period, transition latency); see
+	// Options.DVFS.
+	DVFSConfig = dvfs.Config
+	// PState is one frequency/voltage operating point of a DVFS
+	// ladder.
+	PState = dvfs.PState
 )
 
 // Policy selects a scheduling policy preset.
@@ -153,6 +161,12 @@ type Options struct {
 	Throttle bool
 	// Scope selects per-logical or per-package throttling.
 	Scope ThrottleScope
+	// DVFS enables per-CPU frequency scaling: a governor ("ondemand",
+	// "thermal", "performance") picks P-states from a ladder, workload
+	// progress scales with f/f_max and dynamic power with f·V². The
+	// thermal governor enforces the power budget by downclocking
+	// instead of (or ahead of) hlt throttling. nil disables DVFS.
+	DVFS *DVFSConfig
 	// CalibratedEstimation runs the §3.2 multimeter calibration and
 	// uses the recovered (slightly imperfect) weights; false uses the
 	// ground-truth weights.
@@ -227,6 +241,7 @@ func New(opt Options) (*System, error) {
 		LimitTempC:       opt.LimitTempC,
 		ThrottleEnabled:  opt.Throttle,
 		Scope:            opt.Scope,
+		DVFS:             opt.DVFS,
 		UnitThermal:      opt.UnitThermal,
 		UnitLimitC:       opt.UnitLimitC,
 		Estimator:        est,
@@ -279,6 +294,30 @@ func (s *System) ThrottledFrac(cpu CPUID) float64 { return s.m.ThrottledFrac(cpu
 // AvgThrottledFrac returns the machine-wide average throttled fraction.
 func (s *System) AvgThrottledFrac() float64 { return s.m.AvgThrottledFrac() }
 
+// DownclockedFrac returns the fraction of wall time a CPU was both
+// occupied and running below the nominal frequency — same denominator
+// as ThrottledFrac, not conditioned on occupancy (0 without DVFS).
+func (s *System) DownclockedFrac(cpu CPUID) float64 { return s.m.DownclockedFrac(cpu) }
+
+// AvgDownclockedFrac returns the machine-wide average downclocked
+// fraction.
+func (s *System) AvgDownclockedFrac() float64 { return s.m.AvgDownclockedFrac() }
+
+// FreqMHz returns a CPU's current clock (the nominal clock without
+// DVFS).
+func (s *System) FreqMHz(cpu CPUID) float64 { return s.m.FreqMHz(cpu) }
+
+// PStateSwitches returns the number of completed P-state transitions.
+func (s *System) PStateSwitches() int64 { return s.m.PStateSwitches }
+
+// TrueEnergy returns the machine's ground-truth energy consumption
+// since the last ResetStats, in Joules.
+func (s *System) TrueEnergy() float64 { return s.m.TrueEnergyJ }
+
+// PeakTemp returns the hottest core temperature observed since the
+// last ResetStats (°C).
+func (s *System) PeakTemp() float64 { return s.m.PeakTempC() }
+
 // Completions returns the number of finished task instances.
 func (s *System) Completions() int64 { return s.m.Completions }
 
@@ -326,3 +365,20 @@ func BaselineSchedConfig() SchedConfig { return sched.BaselineConfig() }
 // NewTraceRecorder creates an event recorder retaining at most limit
 // events (0 = unbounded), for Options.Trace.
 func NewTraceRecorder(limit int) *TraceRecorder { return trace.New(limit) }
+
+// TraceKind classifies a recorded scheduler event.
+type TraceKind = trace.Kind
+
+// Trace event kinds (see the trace package for semantics).
+const (
+	TraceDispatch    = trace.Dispatch
+	TraceSliceEnd    = trace.SliceEnd
+	TraceBlock       = trace.Block
+	TraceWake        = trace.Wake
+	TraceMigrate     = trace.Migrate
+	TraceThrottleOn  = trace.ThrottleOn
+	TraceThrottleOff = trace.ThrottleOff
+	TraceFinish      = trace.Finish
+	TraceSpawn       = trace.Spawn
+	TracePState      = trace.PState
+)

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the example runs deterministically and its report shows
+// the two enforcement mechanisms at work — the hlt backstop throttling
+// the pinned hot task, and ondemand walking the interactive CPUs down
+// the P-state ladder.
+func TestDVFSExample(t *testing.T) {
+	out := run()
+	for _, want := range []string{
+		"ondemand governor",
+		"2200 MHz",     // the saturated hot task holds nominal frequency
+		"pstate trail", // interactive CPUs actually transitioned
+		"peak core temp",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 P-state switches") {
+		t.Errorf("no P-state switches happened:\n%s", out)
+	}
+	if strings.Contains(out, "throttled 0%") {
+		t.Errorf("hlt backstop never engaged on the pinned hot task:\n%s", out)
+	}
+}

@@ -1,0 +1,166 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLadderScales(t *testing.T) {
+	l := DefaultLadder()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	max := l.Max()
+	if l.SpeedScale(max) != 1 || l.PowerScale(max) != 1 || l.EnergyScale(max) != 1 {
+		t.Fatal("nominal P-state must have unit scales")
+	}
+	prevSpeed, prevPower := 0.0, 0.0
+	for i := range l {
+		s, p := l.SpeedScale(i), l.PowerScale(i)
+		if s <= prevSpeed || p <= prevPower {
+			t.Fatalf("scales not strictly ascending at state %d", i)
+		}
+		// The f·V² law: PowerScale = (f·V²)/(f_max·V_max²).
+		want := l[i].FreqMHz * l[i].VoltageV * l[i].VoltageV /
+			(l[max].FreqMHz * l[max].VoltageV * l[max].VoltageV)
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("state %d power scale %v, want %v", i, p, want)
+		}
+		// Voltage scaling makes low states strictly more
+		// energy-efficient per unit work: power/speed < 1 below max.
+		if i < max && p/s >= 1 {
+			t.Fatalf("state %d not more efficient than nominal", i)
+		}
+		prevSpeed, prevPower = s, p
+	}
+}
+
+func TestLadderValidate(t *testing.T) {
+	bad := []Ladder{
+		{},
+		{{1000, 1.0}},
+		{{1000, 1.0}, {900, 1.1}},  // freq not ascending
+		{{1000, 1.2}, {1200, 1.1}}, // voltage not ascending
+		{{1000, 1.0}, {1200, 1.0}}, // duplicate voltage (not strictly ascending)
+		{{1000, 1.0}, {1200, 0}},   // non-positive voltage
+		{{-1, 1.0}, {1200, 1.1}},   // non-positive freq
+		{{1000, 1.0}, {1000, 1.0}}, // duplicate freq
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("ladder %d: expected validation error", i)
+		}
+	}
+}
+
+func TestConfigResolvedDefaults(t *testing.T) {
+	c, err := Config{}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Governor != "performance" || c.EvalPeriodMS != DefaultEvalPeriodMS ||
+		c.TransitionLatencyMS != DefaultTransitionLatencyMS || len(c.Ladder) == 0 {
+		t.Fatalf("defaults not filled in: %+v", c)
+	}
+	if _, err := (Config{Governor: "turbo"}).Resolved(); err == nil {
+		t.Fatal("unknown governor accepted")
+	}
+	if _, err := (Config{EvalPeriodMS: -3}).Resolved(); err == nil {
+		t.Fatal("negative eval period accepted")
+	}
+	// Negative transition latency selects instant transitions (0 means
+	// "use the default", so it cannot express zero).
+	if c, err := (Config{TransitionLatencyMS: -1}).Resolved(); err != nil || c.TransitionLatencyMS != 0 {
+		t.Fatalf("instant transitions: latency %d, err %v", c.TransitionLatencyMS, err)
+	}
+	// Only the selected governor's knobs are validated: an invalid
+	// ondemand threshold must not fail a thermal-governed config, and
+	// vice versa.
+	if _, err := (Config{Governor: "thermal", UpThreshold: 0.2}).Resolved(); err != nil {
+		t.Fatalf("thermal config rejected for unused ondemand knob: %v", err)
+	}
+	if _, err := (Config{Governor: "ondemand", UpRatio: 2}).Resolved(); err != nil {
+		t.Fatalf("ondemand config rejected for unused thermal knob: %v", err)
+	}
+	if _, err := (Config{Governor: "ondemand", UpThreshold: 0.2}).Resolved(); err == nil {
+		t.Fatal("invalid ondemand thresholds accepted for the ondemand governor")
+	}
+	if _, err := (Config{Governor: "thermal", UpRatio: 2}).Resolved(); err == nil {
+		t.Fatal("invalid thermal ratios accepted for the thermal governor")
+	}
+}
+
+func TestParseGovernor(t *testing.T) {
+	for _, n := range GovernorNames() {
+		if got, err := ParseGovernor(n); err != nil || got != n {
+			t.Fatalf("ParseGovernor(%q) = %q, %v", n, got, err)
+		}
+	}
+	if _, err := ParseGovernor("powersave"); err == nil {
+		t.Fatal("unknown governor accepted")
+	}
+}
+
+func TestPerformanceGovernor(t *testing.T) {
+	l := DefaultLadder()
+	g := Performance{}
+	if g.Evaluate(Inputs{Util: 0, Cur: 0, Ladder: l}) != l.Max() {
+		t.Fatal("performance must always pick the nominal state")
+	}
+}
+
+func TestOndemandGovernor(t *testing.T) {
+	l := DefaultLadder()
+	g := Ondemand{Up: 0.8, Down: 0.3}
+	if got := g.Evaluate(Inputs{Util: 0.95, Cur: 0, Ladder: l}); got != l.Max() {
+		t.Fatalf("saturated CPU: got state %d, want max", got)
+	}
+	if got := g.Evaluate(Inputs{Util: 0.1, Cur: 2, Ladder: l}); got != 1 {
+		t.Fatalf("idle-ish CPU: got state %d, want one step down", got)
+	}
+	if got := g.Evaluate(Inputs{Util: 0.1, Cur: 0, Ladder: l}); got != 0 {
+		t.Fatal("must not step below the lowest state")
+	}
+	if got := g.Evaluate(Inputs{Util: 0.5, Cur: 2, Ladder: l}); got != 2 {
+		t.Fatal("mid utilization must hold the current state")
+	}
+}
+
+func TestThermalGovernor(t *testing.T) {
+	l := DefaultLadder()
+	g := Thermal{DownRatio: 0.95, UpRatio: 0.95}
+	max := l.Max()
+	// Overheating (metric at the trigger) with a 61 W task: drop
+	// straight to the highest state whose predicted power fits the
+	// 0.95·40 = 38 W bound — 61·PowerScale(2) ≈ 37.5 W, so state 2 in
+	// one decision (no lag-driven overshoot).
+	if got := g.Evaluate(Inputs{ThermalPowerW: 38.5, InstPowerW: 61, MaxPowerW: 40, Cur: max, Ladder: l}); got != 2 {
+		t.Fatalf("hot CPU: got state %d, want 2", got)
+	}
+	// Overheating and even the lowest state does not fit: floor.
+	if got := g.Evaluate(Inputs{ThermalPowerW: 40, InstPowerW: 200, MaxPowerW: 40, Cur: max, Ladder: l}); got != 0 {
+		t.Fatalf("scorching CPU: got state %d, want 0", got)
+	}
+	// Cool metric and the next state up fits: step up one.
+	if got := g.Evaluate(Inputs{ThermalPowerW: 20, InstPowerW: 20, MaxPowerW: 40, Cur: 1, Ladder: l}); got != 2 {
+		t.Fatalf("cool CPU: got state %d, want 2", got)
+	}
+	// Cool metric but the next state would blow the budget: hold.
+	// (61 W task settled at state 2 ≈ 37.5 W; state 3 would be 50 W.)
+	inst := 61 * l.PowerScale(2)
+	if got := g.Evaluate(Inputs{ThermalPowerW: 36, InstPowerW: inst, MaxPowerW: 40, Cur: 2, Ladder: l}); got != 2 {
+		t.Fatalf("settled CPU: got state %d, want hold at 2", got)
+	}
+	// No budget installed: run at nominal.
+	if got := g.Evaluate(Inputs{ThermalPowerW: 99, InstPowerW: 99, MaxPowerW: 0, Cur: 0, Ladder: l}); got != max {
+		t.Fatal("budget-less CPU must run at nominal")
+	}
+	// Halted CPU (hlt backstop engaged, instantaneous power 0): no
+	// signal — hold, never step up on a vacuous 0 W prediction.
+	if got := g.Evaluate(Inputs{ThermalPowerW: 30, InstPowerW: 0, MaxPowerW: 40, Cur: 1, Ladder: l}); got != 1 {
+		t.Fatalf("halted CPU: got state %d, want hold at 1", got)
+	}
+	if got := g.Evaluate(Inputs{ThermalPowerW: 40, InstPowerW: 0, MaxPowerW: 40, Cur: max, Ladder: l}); got != max {
+		t.Fatalf("halted overheating CPU: got state %d, want hold (no signal to pick a target)", got)
+	}
+}

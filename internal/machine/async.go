@@ -55,6 +55,14 @@ import (
 // quantum planner peeks the earliest wake in O(1) instead of scanning
 // the sleeper list; stale entries (tasks that woke or re-blocked) are
 // discarded lazily at peek time.
+//
+// DVFS composes with parking for free: governors evaluate only
+// occupied CPUs, and a CPU in hlt draws its sleep power whatever its
+// P-state, so a parked CPU simply keeps its last-known P-state and its
+// gap settles in the same closed forms. The one interaction: a CPU
+// whose P-state transition is still in flight (decided, latency not
+// yet elapsed) is kept in the per-step path until the transition
+// lands, so the switch happens at exactly the lockstep instant.
 
 // runAsync drives the shared step like runBatched and settles all
 // parked state before returning, so callers observe a fully
@@ -159,6 +167,7 @@ func (m *Machine) settleCPUMetricTo(d int, to int64) {
 	if gap := to - m.cpuSettledMS[d]; gap > 0 {
 		fg := float64(gap)
 		m.Sched.Power[d].AddEnergy(m.estIdleJ*fg, fg)
+		m.TrueEnergyJ += m.idleShareW * fg / 1000
 		m.idleTicks[d] += gap
 		m.cpuSettledMS[d] = to
 	}
@@ -201,6 +210,13 @@ func (m *Machine) settlePackageThermal(p int, to int64) {
 			}
 		} else {
 			node.StepExact(m.idleEffW, fg)
+		}
+		// Constant power over the gap makes the RC response monotone,
+		// so the endpoint captures the gap's extremum (the start was
+		// checked before the package parked) — keeps PeakTempC
+		// engine-identical while idle cores warm toward steady state.
+		if node.TempC > m.peakTempC {
+			m.peakTempC = node.TempC
 		}
 		if m.unitThrottles != nil {
 			m.unitThrottles[core].Account(gap)
@@ -282,6 +298,13 @@ func (m *Machine) parkIdleCPUs() {
 	newParked := false
 	for c, rq := range m.Sched.RQs {
 		if m.parked[c] || rq.Current != nil || len(rq.Queued()) > 0 {
+			continue
+		}
+		if m.dvfsOn && m.pendingIdx[c] >= 0 {
+			// A P-state transition is in flight (the task blocked or
+			// finished between decision and effect); stay in the
+			// per-step path until it applies, so the transition — and
+			// its trace event — lands at exactly the lockstep instant.
 			continue
 		}
 		m.parked[c] = true

@@ -91,6 +91,17 @@ func (m *Machine) planQuantum(limit int64) int64 {
 		}
 	}
 
+	// Pending P-state transitions are start-of-tick events: the
+	// quantum must end before the new frequency takes effect, so every
+	// quantum runs at exactly one operating point per CPU.
+	if m.dvfsOn && m.nPending > 0 {
+		for c := range m.pendingIdx {
+			if m.pendingIdx[c] >= 0 {
+				clamp(m.pendingAt[c] - now)
+			}
+		}
+	}
+
 	// §2.3 task throttling rotates runqueue heads every millisecond
 	// while a throttle is engaged; degrade to lockstep for those spans.
 	if m.Cfg.TaskThrottling && m.anyThrottleEngaged() {
@@ -128,6 +139,13 @@ func (m *Machine) planQuantum(limit int64) int64 {
 			// budget installed; other CPUs' hot deadlines are no-ops.
 			if m.hotArmed && rq.Len() == 1 && m.Sched.Power[c].MaxPower > 0 {
 				if d := m.wheel.NextHot(now, c); d != sched.NoDeadline {
+					clamp(d - now + 1)
+				}
+			}
+			// Governor evaluations act only on occupied CPUs — idle
+			// CPUs keep their P-state, so their deadlines are no-ops.
+			if m.dvfsOn {
+				if d := m.wheel.NextGov(now, c); d != sched.NoDeadline {
 					clamp(d - now + 1)
 				}
 			}
@@ -179,14 +197,32 @@ func (m *Machine) anyThrottleEngaged() bool {
 // current rates and speed, or the idle share when halted or idle.
 func (m *Machine) metricFeed() []float64 {
 	for c := range m.xbarScratch {
-		if speed := m.execSpeed[c]; speed > 0 {
-			rates := m.dispatches[c].task.work.EffectiveRates()
-			m.xbarScratch[c] = m.Est.RateWatts(rates) * speed
+		if x := m.estRatePowerW(c); x > 0 {
+			m.xbarScratch[c] = x
 		} else {
 			m.xbarScratch[c] = m.estIdleW
 		}
 	}
 	return m.xbarScratch
+}
+
+// estRatePowerW returns CPU c's instantaneous estimated power this
+// quantum — the running task's event rates through the estimator
+// weights at the actual execution speed, voltage-scaled under DVFS
+// (the (V/V_max)² share of the f·V² law; counts already shrank by
+// f/f_max through the speed). 0 when the CPU is halted or idle. Shared
+// by the thermal-power metric feed and the governors' fast InstPowerW
+// signal, which must stay the same quantity.
+func (m *Machine) estRatePowerW(c int) float64 {
+	speed := m.execSpeed[c]
+	if speed <= 0 {
+		return 0
+	}
+	x := m.Est.RateWatts(m.dispatches[c].task.work.EffectiveRates()) * speed
+	if m.dvfsOn {
+		x *= m.powScale[c]
+	}
+	return x
 }
 
 // clampThrottleCrossings bounds the quantum by the predicted throttle
@@ -255,7 +291,11 @@ func (m *Machine) clampUnitCrossings(dt int64) int64 {
 		for t := 0; t < threads; t++ {
 			c := int(layout.CPUOfCore(core, t))
 			if speed := m.execSpeed[c]; speed > 0 {
-				sum += m.Model.ExecPower(m.dispatches[c].task.work.EffectiveRates()) * speed
+				p := m.Model.ExecPower(m.dispatches[c].task.work.EffectiveRates()) * speed
+				if m.dvfsOn {
+					p *= m.powScale[c]
+				}
+				sum += p
 			} else {
 				sum += m.idleShareW
 			}

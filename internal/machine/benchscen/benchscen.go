@@ -9,6 +9,7 @@
 package benchscen
 
 import (
+	"energysched/internal/dvfs"
 	"energysched/internal/energy"
 	"energysched/internal/machine"
 	"energysched/internal/sched"
@@ -93,6 +94,29 @@ func Engines() []Scenario {
 				m.SpawnN(workload.WithWork(cat.Memrw(), 2000), 6)
 				m.SpawnN(cat.Bash(), 4)
 			}),
+		},
+		{
+			// DVFS overhead: governor deadlines cap the quanta of busy
+			// CPUs at the evaluation period and pending transitions add
+			// planner horizons — this scenario tracks what the thermal
+			// governor costs each engine on a hot mixed workload.
+			Name: "engines/dvfs-thermal", SimChunkMS: 10_000, WarmupMS: 5_000,
+			New: func(e machine.Engine) *machine.Machine {
+				m := machine.MustNew(machine.Config{
+					Engine:           e,
+					Layout:           topology.XSeries445NoSMT(),
+					Sched:            sched.DefaultConfig(),
+					Seed:             1,
+					PackageMaxPowerW: []float64{40},
+					ThrottleEnabled:  true,
+					Scope:            machine.ThrottlePerLogical,
+					DVFS:             &dvfs.Config{Governor: "thermal"},
+				})
+				cat := workload.NewCatalog(energy.DefaultTrueModel())
+				m.SpawnN(cat.Bitcnts(), 4)
+				m.SpawnN(cat.Bash(), 4)
+				return m
+			},
 		},
 	}
 }

@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"testing"
+
+	"energysched/internal/dvfs"
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+	"energysched/internal/trace"
+	"energysched/internal/workload"
+)
+
+// The performance governor never leaves the nominal P-state, so a
+// DVFS-enabled machine under it must reproduce the DVFS-off machine:
+// a byte-identical event trace (profiles stay on the integer-counter
+// path and no governor deadlines are installed, so quanta, energies,
+// and every placement/migration decision match exactly).
+func TestPerformanceGovernorMatchesNoDVFS(t *testing.T) {
+	build := func(d *dvfs.Config) *Machine {
+		m := MustNew(Config{
+			Layout:           topology.XSeries445NoSMT(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             5,
+			PackageMaxPowerW: []float64{50},
+			ThrottleEnabled:  true,
+			Scope:            ThrottlePerLogical,
+			DVFS:             d,
+			RespawnFinished:  true,
+			Trace:            trace.New(0),
+		})
+		m.SpawnN(workload.WithWork(catalog().Bitcnts(), 3000), 4)
+		m.SpawnN(catalog().Bash(), 2)
+		return m
+	}
+	plain := build(nil)
+	perf := build(&dvfs.Config{Governor: "performance"})
+	plain.Run(30_000)
+	perf.Run(30_000)
+	if plain.Completions != perf.Completions || plain.WorkDoneMS != perf.WorkDoneMS ||
+		plain.MigrationCount() != perf.MigrationCount() {
+		t.Fatalf("performance-governed machine diverged from DVFS-off: completions %d/%d work %v/%v",
+			plain.Completions, perf.Completions, plain.WorkDoneMS, perf.WorkDoneMS)
+	}
+	if a, b := traceCSV(t, plain.Cfg.Trace), traceCSV(t, perf.Cfg.Trace); a != b {
+		t.Errorf("event trace differs from DVFS-off machine: %s", firstTraceDiff(a, b))
+	}
+	if d := relDiff(plain.TrueEnergyJ, perf.TrueEnergyJ); d > 1e-9 {
+		t.Fatalf("energy rel diff %.2e (%.6f vs %.6f)", d, plain.TrueEnergyJ, perf.TrueEnergyJ)
+	}
+	if perf.PStateSwitches != 0 || perf.AvgDownclockedFrac() != 0 {
+		t.Fatalf("performance governor transitioned: %d switches", perf.PStateSwitches)
+	}
+}
+
+// Ondemand on a mostly-interactive machine: low utilization steps the
+// occupied CPUs down the ladder, transitions land in the trace, and
+// the machine consumes less true energy than at nominal frequency.
+func TestOndemandDownclocksInteractiveLoad(t *testing.T) {
+	build := func(d *dvfs.Config) *Machine {
+		m := MustNew(Config{
+			Layout:           topology.XSeries445NoSMT(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             9,
+			PackageMaxPowerW: []float64{60},
+			DVFS:             d,
+			Trace:            trace.New(0),
+		})
+		m.SpawnN(catalog().Sshd(), 3)
+		m.SpawnN(catalog().Bash(), 3)
+		return m
+	}
+	od := build(&dvfs.Config{Governor: "ondemand"})
+	od.Run(60_000)
+	if od.PStateSwitches == 0 {
+		t.Fatal("ondemand never changed a P-state under interactive load")
+	}
+	if od.Cfg.Trace.CountByKind()["pstate"] == 0 {
+		t.Fatal("no pstate events traced")
+	}
+	if od.AvgDownclockedFrac() == 0 {
+		t.Fatal("no downclocked occupancy recorded")
+	}
+	base := build(nil)
+	base.Run(60_000)
+	if od.TrueEnergyJ >= base.TrueEnergyJ {
+		t.Fatalf("ondemand energy %.1f J not below nominal %.1f J", od.TrueEnergyJ, base.TrueEnergyJ)
+	}
+}
+
+// The thermal governor is the DVFS enforcement knob: on a machine
+// whose budget the workload exceeds, it must hold the thermal-power
+// metric under the limit by downclocking — no hlt halts — while the
+// pure-throttle machine halts instead. Hot task migration keeps
+// working while cores run at unequal frequencies.
+func TestThermalGovernorReplacesThrottling(t *testing.T) {
+	build := func(pol sched.Config, throttle bool, d *dvfs.Config) *Machine {
+		// Non-SMT layout with per-logical throttling, so both
+		// enforcement knobs police exactly the same 40 W budget (on an
+		// SMT package the per-package throttle would grant a lone task
+		// its idle sibling's headroom, which the per-logical governor
+		// does not).
+		m := MustNew(Config{
+			Layout:           topology.XSeries445NoSMT(),
+			Sched:            pol,
+			Seed:             7,
+			PackageMaxPowerW: []float64{40},
+			ThrottleEnabled:  throttle,
+			Scope:            ThrottlePerLogical,
+			DVFS:             d,
+		})
+		m.Spawn(catalog().Bitcnts())
+		m.Spawn(catalog().Bzip2())
+		return m
+	}
+	// Both machines pin the tasks (baseline scheduling) so the two
+	// enforcement knobs face the same overheating, with no migration
+	// escape hatch.
+	gov := build(sched.BaselineConfig(), false, &dvfs.Config{Governor: "thermal"})
+	gov.Run(120_000)
+	thr := build(sched.BaselineConfig(), true, nil)
+	thr.Run(120_000)
+
+	if gov.AvgDownclockedFrac() == 0 {
+		t.Fatal("thermal governor never downclocked an over-budget machine")
+	}
+	if gov.AvgThrottledFrac() != 0 {
+		t.Fatal("governor machine halted despite throttling disabled")
+	}
+	if thr.AvgThrottledFrac() == 0 {
+		t.Fatal("reference throttle machine never halted; scenario not over budget")
+	}
+	// Enforcement works: every CPU's thermal power stays at (or below)
+	// its share of the budget plus the governor's reaction slack.
+	for c := 0; c < gov.Cfg.Layout.NumLogical(); c++ {
+		maxW := gov.Sched.Power[c].MaxPower
+		if tp := gov.Sched.Power[c].ThermalPower(); tp > maxW*1.05 {
+			t.Errorf("cpu %d thermal power %.1f W exceeds budget %.1f W under the governor", c, tp, maxW)
+		}
+	}
+	// The f·V² law pays off: at the same thermal envelope, running
+	// slower-but-always beats halting duty cycles on throughput.
+	if gov.WorkRate() <= thr.WorkRate() {
+		t.Errorf("downclocking work rate %.3f not above throttling %.3f", gov.WorkRate(), thr.WorkRate())
+	}
+}
+
+// Hot task migration must keep working while the machine's cores run
+// at unequal frequencies: under ondemand, a CPU-bound task stays at
+// nominal speed and hops between packages on the hot trigger, while
+// interactive CPUs sit several P-states lower.
+func TestHotMigrationAcrossUnequalFrequencies(t *testing.T) {
+	m := MustNew(Config{
+		Layout:           topology.XSeries445(),
+		Sched:            sched.DefaultConfig(),
+		Seed:             7,
+		PackageMaxPowerW: []float64{40},
+		ThrottleEnabled:  true,
+		Scope:            ThrottlePerPackage,
+		DVFS:             &dvfs.Config{Governor: "ondemand"},
+	})
+	m.Spawn(catalog().Bitcnts())
+	m.SpawnN(catalog().Bash(), 4)
+	m.SpawnN(catalog().Sshd(), 4)
+	m.Run(120_000)
+	if m.MigrationCountByReason(sched.MigrateHot) == 0 {
+		t.Error("no hot migrations on a DVFS machine")
+	}
+	if m.PStateSwitches == 0 || m.AvgDownclockedFrac() == 0 {
+		t.Error("interactive CPUs never downclocked; frequencies not unequal")
+	}
+}
+
+// A pending P-state transition is an event horizon: the step must
+// apply it at exactly the decided instant even when the deciding task
+// blocks in between — covered here by the ondemand governor on a
+// blocking workload with a long transition latency.
+func TestTransitionLatencyIsHonored(t *testing.T) {
+	rec := trace.New(0)
+	m := MustNew(Config{
+		Layout:           topology.XSeries445NoSMT(),
+		Sched:            sched.DefaultConfig(),
+		Seed:             3,
+		PackageMaxPowerW: []float64{60},
+		DVFS: &dvfs.Config{
+			Governor:            "ondemand",
+			TransitionLatencyMS: 25,
+		},
+		Trace: rec,
+	})
+	m.SpawnN(catalog().Bash(), 4)
+	m.Run(60_000)
+	evs := rec.Events()
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == trace.PState {
+			found = true
+			// Decisions land on governor deadlines; with latency L the
+			// effect lands 1+L ticks after one. Governor deadlines obey
+			// (t + 11·cpu) mod period == 0, so check the effect time.
+			at := ev.TimeMS - 1 - 25
+			if (at+int64(ev.CPU)*sched.GovStaggerMS)%int64(dvfs.DefaultEvalPeriodMS) != 0 {
+				t.Fatalf("pstate event at %d ms on cpu %d not latency-aligned to a governor deadline", ev.TimeMS, ev.CPU)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no pstate transitions recorded")
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"energysched/internal/counters"
+	"energysched/internal/dvfs"
 	"energysched/internal/sched"
 	"energysched/internal/topology"
 	"energysched/internal/trace"
@@ -72,6 +73,29 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.sleepers = kept
 	}
 
+	// 1b. Apply P-state transitions whose latency elapsed — a
+	// start-of-tick event: the new frequency and voltage hold for the
+	// whole quantum (the planner never lets a due transition fall
+	// inside one). CPUs with a pending transition are never parked, so
+	// the async engine reaches this point for them every step.
+	if m.nPending > 0 {
+		for c := 0; c < nCPU; c++ {
+			if m.pendingIdx[c] < 0 || m.pendingAt[c] > m.nowMS {
+				continue
+			}
+			old := m.freqIdx[c]
+			idx := m.pendingIdx[c]
+			m.freqIdx[c] = idx
+			m.speedScale[c] = m.dvfsCfg.Ladder.SpeedScale(idx)
+			m.powScale[c] = m.dvfsCfg.Ladder.EnergyScale(idx)
+			m.pendingIdx[c] = -1
+			m.nPending--
+			m.PStateSwitches++
+			m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.PState, TaskID: -1,
+				CPU: c, From: old, Detail: m.psLabels[idx]})
+		}
+	}
+
 	// 2. Dispatch idle CPUs (parked CPUs provably have empty queues:
 	// any enqueue un-parks the target first).
 	for c := 0; c < nCPU; c++ {
@@ -82,6 +106,13 @@ func (m *Machine) step(limitMS int64) int64 {
 		if rq.Current == nil {
 			if t := rq.PickNext(); t != nil {
 				m.startDispatch(topology.CPUID(c), t, m.nowMS)
+				if m.govPeriod > 0 {
+					// cpufreq's idle-exit reset: a pure-idle stale
+					// window restarts here so the first governor
+					// evaluation measures the new occupancy, not the
+					// idle span (see UtilTracker.IdleExit).
+					m.Sched.Util[c].IdleExit(m.nowMS)
+				}
 			}
 		}
 	}
@@ -187,6 +218,20 @@ func (m *Machine) step(limitMS int64) int64 {
 		}
 	}
 
+	// 4b. DVFS: workload progress is clock-bound, so the P-state's
+	// f/f_max factor composes multiplicatively with the SMT and warmup
+	// factors. (The SMT check above deliberately ran on the unscaled
+	// speeds: a sibling contends for the core's functional units
+	// whatever its frequency.) execSpeed is now the final execution
+	// speed of the quantum, and every planner horizon divides by it.
+	if m.dvfsOn {
+		for c := 0; c < nCPU; c++ {
+			if m.execSpeed[c] > 0 {
+				m.execSpeed[c] *= m.speedScale[c]
+			}
+		}
+	}
+
 	// 5. Fix the quantum: the largest dt over which every decision made
 	// above provably holds (1 for the lockstep engine).
 	dt := limitMS
@@ -225,6 +270,20 @@ func (m *Machine) step(limitMS int64) int64 {
 			m.haltedTicks[c] += dt
 		}
 	}
+	if m.dvfsOn {
+		// Downclocked occupancy — the DVFS counterpart of haltedTicks:
+		// ticks an occupied CPU actually ran below the nominal
+		// frequency. execSpeed > 0 excludes throttle-halted ticks,
+		// which haltedTicks already counts — the two enforcement
+		// signatures partition the time instead of overlapping.
+		nominal := m.dvfsCfg.Ladder.Max()
+		for c := 0; c < nCPU; c++ {
+			if m.freqIdx[c] < nominal && m.execSpeed[c] > 0 &&
+				m.Sched.RQ(topology.CPUID(c)).Current != nil {
+				m.downTicks[c] += dt
+			}
+		}
+	}
 
 	// 6. Execute, account energy. The workload integrates the whole
 	// quantum in one call (exactly, thanks to its progress-indexed
@@ -244,11 +303,18 @@ func (m *Machine) step(limitMS int64) int64 {
 		cpu := topology.CPUID(c)
 		speed := m.execSpeed[c]
 		if speed == 0 {
-			// Idle or halted: sleep power only.
+			// Idle or halted: sleep power only (hlt power does not
+			// depend on the P-state).
 			m.truePower[c] = m.idleShareW
+			m.TrueEnergyJ += m.idleShareW * fdt / 1000
 			m.Sched.Power[c].AddEnergy(m.estIdleJ*fdt, fdt)
 			if m.Sched.RQ(cpu).Current == nil {
 				m.idleTicks[c] += dt
+			} else if m.govPeriod > 0 {
+				// Halted with a runnable task: occupied, not idle.
+				// (Utilization feeds only active governors — skip the
+				// tracker when no governor evaluates.)
+				m.Sched.Util[c].AddBusy(fdt)
 			}
 			continue
 		}
@@ -259,21 +325,51 @@ func (m *Machine) step(limitMS int64) int64 {
 		}
 		res := task.work.Tick(speed, fdt)
 		m.WorkDoneMS += speed * fdt
+		if m.govPeriod > 0 {
+			m.Sched.Util[c].AddBusy(fdt)
+		}
 		m.banks[c].Accumulate(res.Counts)
 		d.counts = d.counts.Add(res.Counts)
 		d.ranMS += fdt
+
+		// The P-state's energy factor: event counts already shrank by
+		// f/f_max through the execution speed, so scaling each count's
+		// energy by (V/V_max)² realizes the full f·V² dynamic-power
+		// law. 1 when DVFS is off or the CPU is at the nominal state.
+		ps := 1.0
+		if m.dvfsOn {
+			ps = m.powScale[c]
+		}
 		task.st.SliceLeft -= fdt
 
-		trueJ := m.Model.EnergyJExact(res.Exact, 0)
+		trueJ := m.Model.EnergyJExact(res.Exact, 0) * ps
 		m.truePower[c] = trueJ * 1000 / fdt
+		m.TrueEnergyJ += trueJ
 		if m.unitPower != nil {
 			ue := units.SplitExact(m.Model.Weights, res.Exact)
 			core := layout.Core(cpu)
 			for u := range ue {
-				m.unitPower[core][u] += ue[u] * 1000 / fdt
+				m.unitPower[core][u] += ue[u] * ps * 1000 / fdt
 			}
 		}
-		m.Sched.Power[c].AddEnergy(m.Est.EnergyJExact(res.Exact, 0), fdt)
+		estJ := m.Est.EnergyJExact(res.Exact, 0) * ps
+		m.Sched.Power[c].AddEnergy(estJ, fdt)
+		if m.dvfsOn {
+			// The kernel knows its own P-state residency, so per-
+			// dispatch profile energy accumulates frequency-scaled
+			// exact estimates (integer counter deltas cannot be
+			// rescaled after the fact once states changed mid-slice).
+			d.estJ += estJ
+			if ps != 1 {
+				d.scaled = true
+			}
+			if task.st.Units != nil {
+				ue := units.SplitExact(m.Est.Weights, res.Exact)
+				for u := range ue {
+					d.estUnitsJ[u] += ue[u] * ps
+				}
+			}
+		}
 
 		switch res.Status {
 		case workload.Finished:
@@ -318,6 +414,11 @@ func (m *Machine) step(limitMS int64) int64 {
 		eff := m.coupledEffPower(m.corePower, core)
 		m.coreEff[core] = eff
 		m.nodes[core].StepExact(eff, fdt)
+		// Within a constant-power quantum the RC response is monotone,
+		// so checking the endpoint captures the quantum's extremum.
+		if m.nodes[core].TempC > m.peakTempC {
+			m.peakTempC = m.nodes[core].TempC
+		}
 	}
 	if m.unitNodes != nil {
 		for core := range m.unitNodes {
@@ -379,6 +480,64 @@ func (m *Machine) step(limitMS int64) int64 {
 				// (Deferred metrics were already settled: a due hot
 				// check makes syncBeforeDeadlines observe.)
 				m.asyncQueued = m.Sched.TotalQueued()
+			}
+		}
+	}
+
+	// 8b. DVFS governor evaluations, staggered per CPU on the deadline
+	// wheel like the balancer passes. Only occupied CPUs are evaluated:
+	// an idle CPU sits in hlt, where its P-state draws no extra power
+	// and decides nothing — it simply keeps its last state (which is
+	// what lets the async engine park idle CPUs without deferring any
+	// governor work). A decision schedules a pending transition that
+	// takes effect after the transition latency; while one is pending,
+	// further evaluations are skipped, as in cpufreq.
+	if m.dvfsOn && m.govPeriod > 0 {
+		for c := 0; c < nCPU; c++ {
+			if m.cpuParked(c) || !m.wheel.GovDue(endMS, c) {
+				continue
+			}
+			rq := m.Sched.RQ(topology.CPUID(c))
+			if rq.Current == nil {
+				continue
+			}
+			if m.Sched.Util[c].Window(endMS) <= 0 {
+				// Zero-width window (a deadline at simulation start):
+				// no signal yet — don't let util read 0 for a CPU that
+				// just started a saturating task.
+				continue
+			}
+			util := m.Sched.Utilization(c, endMS)
+			if m.pendingIdx[c] >= 0 {
+				continue // transition in flight; window already reset
+			}
+			inst := 0.0
+			// ranMS > 0 rules out a dispatch freshly installed at this
+			// very tick (a finish/block with immediate re-dispatch
+			// landing on the governor deadline): its rates never ran a
+			// millisecond, and execSpeed still describes the departed
+			// task's quantum. inst stays 0 and the governor holds.
+			if d := &m.dispatches[c]; d.task != nil && d.ranMS > 0 {
+				inst = m.estRatePowerW(c)
+			}
+			want := m.gov.Evaluate(dvfs.Inputs{
+				Util:          util,
+				ThermalPowerW: m.Sched.Power[c].ThermalPower(),
+				InstPowerW:    inst,
+				MaxPowerW:     m.Sched.Power[c].MaxPower,
+				Cur:           m.freqIdx[c],
+				Ladder:        m.dvfsCfg.Ladder,
+			})
+			if want < 0 {
+				want = 0
+			}
+			if max := m.dvfsCfg.Ladder.Max(); want > max {
+				want = max
+			}
+			if want != m.freqIdx[c] {
+				m.pendingIdx[c] = want
+				m.pendingAt[c] = endMS + 1 + m.govLatency
+				m.nPending++
 			}
 		}
 	}
@@ -466,6 +625,9 @@ func (m *Machine) startDispatch(cpu topology.CPUID, t *sched.Task, atMS int64) {
 	d.task = ts
 	d.counts = counters.Counts{}
 	d.ranMS = 0
+	d.estJ = 0
+	d.estUnitsJ = units.Energies{}
+	d.scaled = false
 	t.SliceLeft = t.Timeslice()
 	m.emit(trace.Event{TimeMS: atMS, Kind: trace.Dispatch, TaskID: t.ID, CPU: int(cpu), From: -1})
 }
@@ -482,9 +644,23 @@ func (m *Machine) finalizeDispatch(cpu topology.CPUID) {
 		return
 	}
 	energyJ := m.Est.EnergyJ(d.counts, 0)
+	if d.scaled {
+		// Counter deltas cannot be rescaled after a mid-dispatch
+		// P-state change; use the per-quantum scaled accumulation.
+		// Dispatches that never left the nominal state keep the
+		// integer-counter path, bit-identical to a DVFS-less machine.
+		energyJ = d.estJ
+	}
 	d.task.st.Profile.AddSample(energyJ, d.ranMS)
 	if d.task.st.Units != nil {
-		d.task.st.Units.AddSample(units.Split(m.Est.Weights, d.counts), d.ranMS)
+		ue := units.Split(m.Est.Weights, d.counts)
+		if d.scaled {
+			// Same reason as energyJ above: the per-quantum scaled
+			// accumulation is the only record of which P-state each
+			// unit-energy share was produced at.
+			ue = d.estUnitsJ
+		}
+		d.task.st.Units.AddSample(ue, d.ranMS)
 	}
 	if !d.task.firstSliceDone {
 		d.task.firstSliceDone = true
@@ -493,6 +669,9 @@ func (m *Machine) finalizeDispatch(cpu topology.CPUID) {
 	d.task = nil
 	d.counts = counters.Counts{}
 	d.ranMS = 0
+	d.estJ = 0
+	d.estUnitsJ = units.Energies{}
+	d.scaled = false
 }
 
 // endTimeslice rotates the running task to the tail of its queue.

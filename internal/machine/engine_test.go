@@ -3,10 +3,13 @@ package machine
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
+	"energysched/internal/dvfs"
 	"energysched/internal/sched"
 	"energysched/internal/topology"
+	"energysched/internal/trace"
 	"energysched/internal/workload"
 )
 
@@ -87,7 +90,7 @@ func engineScenarios() []engineScenario {
 					Sched: sched.DefaultConfig(), Seed: 7,
 					PackageMaxPowerW: []float64{40},
 					ThrottleEnabled:  true, Scope: ThrottlePerPackage,
-					MonitorPeriodMS:  100,
+					MonitorPeriodMS: 100,
 				})
 				m.Spawn(cat.Bitcnts())
 				return m
@@ -125,7 +128,7 @@ func engineScenarios() []engineScenario {
 					PackageProps:     []energyProps{props01(), props01()},
 					PackageMaxPowerW: []float64{100},
 					ThrottleEnabled:  true, Scope: ThrottlePerCore,
-					UnitThermal:      true, UnitLimitC: 45,
+					UnitThermal: true, UnitLimitC: 45,
 				})
 				m.SpawnN(cat.Intmix(), 2)
 				m.SpawnN(cat.Fpmix(), 2)
@@ -196,6 +199,91 @@ func engineScenarios() []engineScenario {
 			runMS: 24_000,
 		},
 		{
+			// DVFS, ondemand governor: interactive tasks idle below the
+			// Down threshold and step their CPUs down the ladder, CPU-
+			// bound respawning tasks jump back to nominal; pending
+			// transitions, governor deadlines, and parked CPUs keeping
+			// their last P-state all interleave.
+			name: "dvfs-ondemand",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 23,
+					PackageMaxPowerW: []float64{60}, MonitorPeriodMS: 500,
+					DVFS:            &dvfs.Config{Governor: "ondemand"},
+					RespawnFinished: true,
+				})
+				m.SpawnN(cat.Sshd(), 2)
+				m.SpawnN(cat.Bash(), 2)
+				m.Spawn(workload.WithWork(cat.Bitcnts(), 2500))
+				m.Spawn(workload.WithWork(cat.Memrw(), 1800))
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// DVFS, thermal governor, SMT machine, hlt throttle armed as
+			// backstop: the governor downclocks hot CPUs ahead of the
+			// throttle while hot task migration hops the task between
+			// cores running at unequal frequencies.
+			name: "dvfs-thermal",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445(),
+					Sched: sched.DefaultConfig(), Seed: 31,
+					PackageMaxPowerW: []float64{40},
+					ThrottleEnabled:  true, Scope: ThrottlePerPackage,
+					DVFS:            &dvfs.Config{Governor: "thermal"},
+					MonitorPeriodMS: 1000,
+				})
+				m.Spawn(cat.Bitcnts())
+				m.Spawn(cat.Bzip2())
+				return m
+			},
+			runMS: 60_000,
+		},
+		{
+			// DVFS × §7 unit extension: ondemand downclocking composes
+			// with unit hotspots and unit-aware balancing, so the
+			// voltage-scaled per-unit energy profiles (dispatch
+			// estUnitsJ) drive cross-engine-identical exchanges.
+			name: "dvfs-unit-thermal",
+			build: func(e Engine) *Machine {
+				pol := sched.DefaultConfig()
+				pol.UnitAwareBalancing = true
+				m := MustNew(Config{
+					Engine: e, Layout: topology.CMP2x2(),
+					Sched: pol, Seed: 41,
+					PackageProps:     []energyProps{props01(), props01()},
+					PackageMaxPowerW: []float64{100},
+					ThrottleEnabled:  true, Scope: ThrottlePerCore,
+					UnitThermal: true, UnitLimitC: 45,
+					DVFS: &dvfs.Config{Governor: "ondemand"},
+				})
+				m.SpawnN(cat.Intmix(), 2)
+				m.SpawnN(cat.Fpmix(), 2)
+				m.SpawnN(cat.Bash(), 2)
+				return m
+			},
+			runMS: 45_000,
+		},
+		{
+			// Fully idle machine: no tasks at all, every package parks
+			// immediately, and the cores warm toward the idle steady
+			// temperature entirely inside the async engine's closed-form
+			// package settling — pins PeakTempC tracking on that path.
+			name: "all-idle",
+			build: func(e Engine) *Machine {
+				return MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 1,
+					PackageMaxPowerW: []float64{40},
+					MonitorPeriodMS:  5000,
+				})
+			},
+			runMS: 60_000,
+		},
+		{
 			// §2.3 task-throttling policy: per-tick head rotation while
 			// engaged (the planner's forced-lockstep path).
 			name: "task-throttling",
@@ -205,7 +293,7 @@ func engineScenarios() []engineScenario {
 					Sched: sched.BaselineConfig(), Seed: 5,
 					PackageMaxPowerW: []float64{45},
 					ThrottleEnabled:  true, Scope: ThrottlePerLogical,
-					TaskThrottling:   true,
+					TaskThrottling: true,
 				})
 				m.SpawnN(cat.Bitcnts(), 2)
 				m.SpawnN(cat.Memrw(), 2)
@@ -235,12 +323,17 @@ func relDiff(a, b float64) float64 {
 func TestEngineEquivalence(t *testing.T) {
 	for _, sc := range engineScenarios() {
 		// The slow lockstep reference runs once per scenario; both
-		// fast engines are asserted against the same machine.
+		// fast engines are asserted against the same machine. Every
+		// machine records a full event trace, asserted byte-identical
+		// across engines.
 		lock := sc.build(EngineLockstep)
+		lock.Cfg.Trace = trace.New(0)
 		lock.Run(sc.runMS)
+		lockCSV := traceCSV(t, lock.Cfg.Trace)
 		for _, engine := range []Engine{EngineBatched, EngineAsync} {
 			t.Run(sc.name+"/"+engine.String(), func(t *testing.T) {
 				got := sc.build(engine)
+				got.Cfg.Trace = trace.New(0)
 				// Advance in chunks to also exercise Run-boundary
 				// clamping (and, for async, the end-of-Run settling).
 				for i := 0; i < 3; i++ {
@@ -250,9 +343,35 @@ func TestEngineEquivalence(t *testing.T) {
 					got.Run(rem)
 				}
 				assertEquivalent(t, lock, got)
+				if gotCSV := traceCSV(t, got.Cfg.Trace); gotCSV != lockCSV {
+					t.Errorf("event trace differs from lockstep (%d vs %d bytes): %s",
+						len(gotCSV), len(lockCSV), firstTraceDiff(lockCSV, gotCSV))
+				}
 			})
 		}
 	}
+}
+
+// traceCSV renders a recorder's events as CSV for byte comparison.
+func traceCSV(t *testing.T, rec *trace.Recorder) string {
+	t.Helper()
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// firstTraceDiff locates the first differing trace line for the error
+// message.
+func firstTraceDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line count %d vs %d", len(al), len(bl))
 }
 
 // assertEquivalent asserts the cross-engine contract between a lockstep
@@ -308,6 +427,31 @@ func assertEquivalent(t *testing.T, lock, bat *Machine) {
 		if d := relDiff(lock.CoreTemp(core), bat.CoreTemp(core)); d > tol {
 			t.Errorf("core %d temp rel diff %.2e (%.6f vs %.6f)",
 				core, d, lock.CoreTemp(core), bat.CoreTemp(core))
+		}
+	}
+	if d := relDiff(lock.TrueEnergyJ, bat.TrueEnergyJ); d > tol {
+		t.Errorf("true energy rel diff %.2e (%.6f vs %.6f)", d, lock.TrueEnergyJ, bat.TrueEnergyJ)
+	}
+	if d := relDiff(lock.PeakTempC(), bat.PeakTempC()); d > tol {
+		t.Errorf("peak temp rel diff %.2e", d)
+	}
+	// DVFS state: P-state indices, transition counts, pending
+	// transitions, and downclocked occupancy must match exactly.
+	if lock.dvfsOn {
+		if lock.PStateSwitches != bat.PStateSwitches {
+			t.Errorf("p-state switches: %d vs %d", lock.PStateSwitches, bat.PStateSwitches)
+		}
+		for c := 0; c < nCPU; c++ {
+			if lock.freqIdx[c] != bat.freqIdx[c] {
+				t.Errorf("cpu %d p-state: %d vs %d", c, lock.freqIdx[c], bat.freqIdx[c])
+			}
+			if lock.downTicks[c] != bat.downTicks[c] {
+				t.Errorf("cpu %d downclocked ticks: %d vs %d", c, lock.downTicks[c], bat.downTicks[c])
+			}
+			if lock.pendingIdx[c] != bat.pendingIdx[c] ||
+				(lock.pendingIdx[c] >= 0 && lock.pendingAt[c] != bat.pendingAt[c]) {
+				t.Errorf("cpu %d pending transition differs", c)
+			}
 		}
 	}
 	if lock.unitNodes != nil {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"energysched/internal/counters"
+	"energysched/internal/dvfs"
 	"energysched/internal/energy"
 	"energysched/internal/profile"
 	"energysched/internal/rng"
@@ -212,6 +213,14 @@ type Config struct {
 	UnitR    float64
 	UnitTauS float64
 
+	// DVFS enables per-CPU dynamic voltage and frequency scaling: every
+	// logical CPU carries a P-state from the configured ladder, a
+	// governor policy picks states online, workload progress scales
+	// with f/f_max, and dynamic power with f·V² (see internal/dvfs).
+	// nil disables frequency scaling — all CPUs run at the nominal
+	// frequency, bit-identical to the pre-DVFS machine.
+	DVFS *dvfs.Config
+
 	// RespawnFinished restarts a finished task's program as a fresh
 	// instance (throughput experiments keep the task count constant).
 	RespawnFinished bool
@@ -255,6 +264,22 @@ type dispatch struct {
 	task   *taskState
 	counts counters.Counts
 	ranMS  float64
+	// estJ accumulates the frequency-scaled estimated energy of the
+	// dispatch; used instead of the end-of-dispatch counter conversion
+	// when any quantum of the dispatch ran below the nominal P-state
+	// (the counter deltas cannot be rescaled after the fact).
+	estJ float64
+	// estUnitsJ is estJ's per-functional-unit counterpart, feeding the
+	// §7 unit profiles the same voltage-scaled energies the unit
+	// thermal nodes actually integrate.
+	estUnitsJ units.Energies
+	// scaled records whether any quantum of the dispatch executed at a
+	// non-nominal P-state. False keeps the integer-counter profile
+	// path, so a never-downclocked dispatch — in particular every
+	// dispatch under the performance governor — stays bit-identical to
+	// a machine without DVFS. P-state residency intervals are engine-
+	// identical, so this flag is too.
+	scaled bool
 }
 
 // MigrationEvent records one task migration for the evaluation traces
@@ -327,6 +352,20 @@ type Machine struct {
 	unitThrottles []*thermal.Throttle // per core, on unit temperature
 	unitPower     [][]float64         // per core × unit, this tick (W)
 
+	// DVFS state (zero unless Cfg.DVFS is set; see internal/dvfs).
+	dvfsOn     bool
+	dvfsCfg    dvfs.Config   // resolved configuration
+	gov        dvfs.Governor // the policy picking P-states
+	govPeriod  int64         // governor evaluation period (ms)
+	govLatency int64         // decision-to-effect transition latency (ms)
+	freqIdx    []int         // per logical CPU: current P-state index
+	speedScale []float64     // per CPU: f/f_max of the current P-state
+	powScale   []float64     // per CPU: (V/V_max)² per-event energy factor
+	pendingIdx []int         // per CPU: P-state awaiting its latency, -1 none
+	pendingAt  []int64       // per CPU: tick the pending state takes effect
+	nPending   int           // count of CPUs with a pending transition
+	psLabels   []string      // per ladder index: trace label ("1400MHz")
+
 	tasks    map[int]*taskState
 	sleepers []*taskState
 
@@ -347,12 +386,21 @@ type Machine struct {
 	// WorkDoneMS accumulates executed work (speed-weighted CPU
 	// milliseconds) — a low-variance throughput proxy: in steady state
 	// the work rate is proportional to the completion rate.
-	WorkDoneMS  float64
-	Migrations  []MigrationEvent
-	tpSeries    []*stats.Series // thermal power per logical CPU
-	tempSeries  []*stats.Series // temperature per package
-	idleTicks   []int64         // per logical CPU
-	haltedTicks []int64         // per logical CPU: ticks a runnable CPU was halted
+	WorkDoneMS float64
+	// TrueEnergyJ integrates the machine's ground-truth power — every
+	// CPU, busy or idle, at its actual P-state — since the last
+	// ResetStats: the energy axis of the DVFS-vs-throttling
+	// comparison.
+	TrueEnergyJ float64
+	// PStateSwitches counts completed P-state transitions.
+	PStateSwitches int64
+	peakTempC      float64 // hottest core temperature observed
+	Migrations     []MigrationEvent
+	tpSeries       []*stats.Series // thermal power per logical CPU
+	tempSeries     []*stats.Series // temperature per package
+	idleTicks      []int64         // per logical CPU
+	haltedTicks    []int64         // per logical CPU: ticks a runnable CPU was halted
+	downTicks      []int64         // per logical CPU: occupied ticks below nominal freq
 }
 
 // New builds a machine. The workload is added afterwards with Spawn.
@@ -463,6 +511,53 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.hotArmed = cfg.Sched.HotTaskMigration && int64(cfg.Sched.HotCheckPeriodMS) > 0
 
+	// DVFS: resolve the ladder/governor configuration and start every
+	// CPU at the nominal P-state, so a "performance"-governed machine
+	// is bit-identical to one without DVFS.
+	if cfg.DVFS != nil {
+		resolved, err := cfg.DVFS.Resolved()
+		if err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		gov, err := dvfs.NewGovernor(resolved)
+		if err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		m.dvfsOn = true
+		m.dvfsCfg = resolved
+		m.gov = gov
+		m.govPeriod = int64(resolved.EvalPeriodMS)
+		m.govLatency = int64(resolved.TransitionLatencyMS)
+		if _, static := gov.(dvfs.Performance); static {
+			// The performance governor provably never leaves the
+			// nominal state: installing its evaluation deadlines would
+			// only cap the planner's quanta and burn no-op
+			// evaluations. Skipping them makes a performance-governed
+			// machine genuinely cost- and behaviour-identical to one
+			// without DVFS.
+			m.govPeriod = 0
+		} else {
+			m.wheel.SetGovPeriod(m.govPeriod)
+		}
+		m.freqIdx = make([]int, nCPU)
+		m.speedScale = make([]float64, nCPU)
+		m.powScale = make([]float64, nCPU)
+		m.pendingIdx = make([]int, nCPU)
+		m.pendingAt = make([]int64, nCPU)
+		m.downTicks = make([]int64, nCPU)
+		nominal := resolved.Ladder.Max()
+		for c := 0; c < nCPU; c++ {
+			m.freqIdx[c] = nominal
+			m.speedScale[c] = 1
+			m.powScale[c] = 1
+			m.pendingIdx[c] = -1
+		}
+		m.psLabels = make([]string, len(resolved.Ladder))
+		for i := range resolved.Ladder {
+			m.psLabels[i] = resolved.Ladder.Label(i)
+		}
+	}
+
 	// Per-core thermal nodes. A core owns 1/cores of the package heat
 	// sink (R scaled up, C scaled down, time constant preserved) and,
 	// through CoreCoupling, feels a fraction of its chip neighbours'
@@ -566,6 +661,12 @@ func New(cfg Config) (*Machine, error) {
 			for c := 0; c < nCore; c++ {
 				m.unitThrottles[c] = &thermal.Throttle{LimitW: cfg.UnitLimitC}
 			}
+		}
+	}
+
+	for _, n := range m.nodes {
+		if n.TempC > m.peakTempC {
+			m.peakTempC = n.TempC
 		}
 	}
 

@@ -29,6 +29,53 @@ func (m *Machine) AvgThrottledFrac() float64 {
 	return sum / float64(n)
 }
 
+// DownclockedFrac returns the fraction of wall time since the last
+// ResetStats that a logical CPU was both occupied and running below
+// the nominal frequency — the DVFS counterpart of ThrottledFrac in the
+// enforcement comparison, sharing its wall-clock denominator (it is
+// NOT conditioned on occupancy). Always 0 without DVFS.
+func (m *Machine) DownclockedFrac(cpu topology.CPUID) float64 {
+	dur := m.nowMS - m.statsBaseMS
+	if dur <= 0 || m.downTicks == nil {
+		return 0
+	}
+	return float64(m.downTicks[int(cpu)]) / float64(dur)
+}
+
+// AvgDownclockedFrac returns the machine-wide average downclocked
+// fraction over logical CPUs.
+func (m *Machine) AvgDownclockedFrac() float64 {
+	n := m.Cfg.Layout.NumLogical()
+	sum := 0.0
+	for c := 0; c < n; c++ {
+		sum += m.DownclockedFrac(topology.CPUID(c))
+	}
+	return sum / float64(n)
+}
+
+// PStateIndex returns a logical CPU's current P-state ladder index, or
+// -1 when DVFS is disabled.
+func (m *Machine) PStateIndex(cpu topology.CPUID) int {
+	if !m.dvfsOn {
+		return -1
+	}
+	return m.freqIdx[int(cpu)]
+}
+
+// FreqMHz returns a logical CPU's current clock. Without DVFS it is
+// the model's nominal clock.
+func (m *Machine) FreqMHz(cpu topology.CPUID) float64 {
+	if !m.dvfsOn {
+		return m.Model.ClockMHz
+	}
+	return m.dvfsCfg.Ladder[m.freqIdx[int(cpu)]].FreqMHz
+}
+
+// PeakTempC returns the hottest core temperature observed since the
+// last ResetStats — the temperature-ceiling axis of the
+// DVFS-vs-throttling comparison.
+func (m *Machine) PeakTempC() float64 { return m.peakTempC }
+
 // IdleFrac returns the fraction of ticks a CPU had nothing to run.
 func (m *Machine) IdleFrac(cpu topology.CPUID) float64 {
 	dur := m.nowMS - m.statsBaseMS
@@ -118,6 +165,8 @@ func (m *Machine) MigrationCountByReason(r sched.MigrationReason) int64 {
 func (m *Machine) ResetStats() {
 	m.Completions = 0
 	m.WorkDoneMS = 0
+	m.TrueEnergyJ = 0
+	m.PStateSwitches = 0
 	m.CompletionsByProg = make(map[string]int64)
 	m.Migrations = m.Migrations[:0]
 	m.Sched.MigrationCount = 0
@@ -125,6 +174,16 @@ func (m *Machine) ResetStats() {
 	for i := range m.idleTicks {
 		m.idleTicks[i] = 0
 		m.haltedTicks[i] = 0
+	}
+	for i := range m.downTicks {
+		m.downTicks[i] = 0
+	}
+	// Peak temperature restarts from the hottest current core.
+	m.peakTempC = 0
+	for _, n := range m.nodes {
+		if n.TempC > m.peakTempC {
+			m.peakTempC = n.TempC
+		}
 	}
 	for _, t := range m.throttles {
 		t.Reset()

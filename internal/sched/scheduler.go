@@ -178,6 +178,9 @@ type Scheduler struct {
 	RQs []*Runqueue
 	// Power holds the §4.3 per-CPU metrics (thermal power, max power).
 	Power []*profile.CPUPower
+	// Util holds the per-CPU busy-time trackers feeding utilization to
+	// the DVFS governors (see util.go).
+	Util []UtilTracker
 	// Placement is the §4.6 initial-placement table.
 	Placement *profile.PlacementTable
 	// Hooks connect the scheduler to the driving machine.
@@ -200,6 +203,7 @@ func New(topo *topology.Topology, cfg Config, placement *profile.PlacementTable)
 		Cfg:       cfg,
 		RQs:       make([]*Runqueue, n),
 		Power:     make([]*profile.CPUPower, n),
+		Util:      make([]UtilTracker, n),
 		Placement: placement,
 	}
 	for i := 0; i < n; i++ {

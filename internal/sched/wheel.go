@@ -16,6 +16,8 @@ const (
 	// pull work (Linux-style idle rebalance), staggered by the CPU
 	// index itself.
 	IdlePullPeriodMS = 10
+	// GovStaggerMS staggers the DVFS governor evaluations across CPUs.
+	GovStaggerMS = 11
 )
 
 // NoDeadline is returned when a deadline class is disabled.
@@ -34,6 +36,7 @@ const NoDeadline = int64(math.MaxInt64)
 type Wheel struct {
 	balP int64
 	hotP int64
+	govP int64
 }
 
 // NewWheel builds the wheel from the policy's periods (fractional
@@ -42,6 +45,12 @@ type Wheel struct {
 func NewWheel(cfg Config) *Wheel {
 	return &Wheel{balP: int64(cfg.BalancePeriodMS), hotP: int64(cfg.HotCheckPeriodMS)}
 }
+
+// SetGovPeriod installs the DVFS governor evaluation period (0
+// disables governor deadlines). The machine calls it when frequency
+// scaling is configured; the scheduler policy itself has no DVFS
+// knobs.
+func (w *Wheel) SetGovPeriod(periodMS int64) { w.govP = periodMS }
 
 // nextAt returns the smallest T ≥ now with (T + off) mod period == 0.
 func nextAt(now, period, off int64) int64 {
@@ -89,6 +98,21 @@ func (w *Wheel) NextHot(now int64, cpu int) int64 {
 // is due.
 func (w *Wheel) NextIdlePull(now int64, cpu int) int64 {
 	return nextAt(now, IdlePullPeriodMS, int64(cpu))
+}
+
+// GovDue reports whether CPU cpu's DVFS governor evaluation is due at
+// now.
+func (w *Wheel) GovDue(now int64, cpu int) bool {
+	return w.govP > 0 && (now+int64(cpu)*GovStaggerMS)%w.govP == 0
+}
+
+// NextGov returns the next time ≥ now at which CPU cpu's governor
+// evaluation is due, or NoDeadline when DVFS is not configured.
+func (w *Wheel) NextGov(now int64, cpu int) int64 {
+	if w.govP <= 0 {
+		return NoDeadline
+	}
+	return nextAt(now, w.govP, int64(cpu)*GovStaggerMS)
 }
 
 // TotalQueued returns the number of waiting (non-running) tasks across

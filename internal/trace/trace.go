@@ -35,12 +35,15 @@ const (
 	Finish
 	// Spawn: a task was created and placed.
 	Spawn
+	// PState: a CPU's DVFS P-state transition took effect (From is the
+	// old ladder index, Detail the new frequency label).
+	PState
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"dispatch", "slice_end", "block", "wake", "migrate",
-	"throttle_on", "throttle_off", "finish", "spawn",
+	"throttle_on", "throttle_off", "finish", "spawn", "pstate",
 }
 
 // String names the kind.

@@ -34,6 +34,9 @@ type (
 	PolicyComparisonResult = experiments.PolicyComparisonResult
 	// UnitAwareResult is the §7 functional-unit extension experiment.
 	UnitAwareResult = experiments.UnitAwareResult
+	// DVFSComparisonResult tabulates DVFS governors against hlt
+	// throttling as thermal-limit enforcement knobs.
+	DVFSComparisonResult = experiments.DVFSComparisonResult
 )
 
 // ReproduceTable1 regenerates Table 1 (per-timeslice power change).
@@ -129,4 +132,14 @@ func ReproducePolicyComparison(seed uint64, measureMS int64) PolicyComparisonRes
 // ReproduceUnitAware runs the §7 functional-unit extension experiment.
 func ReproduceUnitAware(seed uint64, measureMS int64) UnitAwareResult {
 	return experiments.UnitAware(seed, measureMS)
+}
+
+// ReproduceDVFSComparison runs the enforcement comparison the paper
+// could not: DVFS governors vs §6.2 hlt throttling on the hot-task
+// scenario — energy, makespan, peak temperature, and the halted vs
+// downclocked fractions.
+func ReproduceDVFSComparison(seed uint64) DVFSComparisonResult {
+	cfg := experiments.DefaultDVFSComparisonConfig()
+	cfg.Seed = seed
+	return experiments.DVFSvsThrottle(cfg)
 }
