@@ -13,9 +13,16 @@
 // Usage:
 //
 //	esbench [-quick] [-time 1s] [-out FILE] [-engines lockstep,batched,async]
+//	        [-compare BASELINE.json] [-threshold 15]
 //
 // -quick runs every benchmark for a single iteration (the CI smoke
 // mode); otherwise each benchmark repeats until -time has elapsed.
+//
+// -compare loads a committed BENCH_*.json, prints the per-benchmark
+// ns/op delta of this run against it, and exits nonzero when any
+// benchmark present in both regressed by more than -threshold percent —
+// the CI bench gate. Benchmarks only on one side are reported but never
+// gate.
 package main
 
 import (
@@ -144,11 +151,64 @@ func parseEngines(s string) ([]machine.Engine, error) {
 	return out, nil
 }
 
+// loadBaseline reads a committed BENCH_*.json document.
+func loadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare prints the per-benchmark ns/op deltas of cur against base and
+// returns the number of benchmarks that regressed by more than
+// thresholdPct. Matching is by (name, engine); one-sided entries are
+// noted but never gate.
+func compare(w *os.File, base, cur *Report, thresholdPct float64) (regressions int) {
+	type key struct{ name, engine string }
+	baseBy := make(map[key]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[key{r.Name, r.Engine}] = r
+	}
+	fmt.Fprintf(w, "bench gate: current (%s) vs baseline %s (%s), threshold +%.0f%% ns/op\n",
+		cur.GitSHA, base.Date, base.GitSHA, thresholdPct)
+	fmt.Fprintf(w, "%-28s %-9s %14s %14s %8s\n", "benchmark", "engine", "base ns/op", "cur ns/op", "delta")
+	seen := make(map[key]bool, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		k := key{r.Name, r.Engine}
+		seen[k] = true
+		b, ok := baseBy[k]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %-9s %14s %14.0f %8s\n", r.Name, r.Engine, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		verdict := ""
+		if delta > thresholdPct {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-28s %-9s %14.0f %14.0f %+7.1f%%%s\n", r.Name, r.Engine, b.NsPerOp, r.NsPerOp, delta, verdict)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[key{b.Name, b.Engine}] {
+			fmt.Fprintf(w, "%-28s %-9s %14.0f %14s %8s\n", b.Name, b.Engine, b.NsPerOp, "-", "gone")
+		}
+	}
+	return regressions
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
 	minTime := flag.Duration("time", time.Second, "minimum measuring time per benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
 	enginesFlag := flag.String("engines", "lockstep,batched,async", "comma-separated engines to benchmark")
+	compareTo := flag.String("compare", "", "baseline BENCH_*.json to gate this run against")
+	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails the -compare gate")
 	flag.Parse()
 
 	engines, err := parseEngines(*enginesFlag)
@@ -194,6 +254,19 @@ func main() {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "esbench:", err)
 		os.Exit(1)
+	}
+
+	if *compareTo != "" {
+		base, err := loadBaseline(*compareTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esbench:", err)
+			os.Exit(2)
+		}
+		if n := compare(os.Stdout, base, &rep, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "esbench: %d benchmark(s) regressed more than %.0f%%\n", n, *threshold)
+			os.Exit(1)
+		}
+		fmt.Println("bench gate: PASS")
 	}
 	fmt.Println(path)
 }

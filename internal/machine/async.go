@@ -109,13 +109,57 @@ func (m *Machine) initAsync() {
 	cores := m.Cfg.Layout.Cores()
 	idleRaw := m.idleShareW * float64(m.Cfg.Layout.ThreadsPerPackage)
 	m.idleEffW = idleRaw * (1 + m.Cfg.CoreCoupling*float64(cores-1))
-	m.wakePQ = sched.NewEventQueue(64)
 	m.phase6CPU = -1
+	m.stepList = make([]int32, 0, nCPU)
+	m.stepCores = make([]int32, 0, len(m.nodes))
+	m.stepListDirty = true
+	m.stepCoresDirty = true
 }
 
 // cpuParked reports whether the async engine has parked a CPU; always
 // false for the other engines.
 func (m *Machine) cpuParked(c int) bool { return m.async && m.parked[c] }
+
+// stepCPUs returns the CPUs the per-step phases must visit, ascending:
+// every CPU on the lockstep and batched engines; on the async engine
+// the un-parked CPUs plus the parked members of live (non-dormant)
+// throttle groups, whose metrics update per step. Rebuilt lazily after
+// parking-state changes.
+func (m *Machine) stepCPUs() []int32 {
+	if !m.async {
+		return m.allCPUs
+	}
+	if m.stepListDirty {
+		m.stepList = m.stepList[:0]
+		for c := range m.parked {
+			if !m.parked[c] || !m.metricDormant(c) {
+				m.stepList = append(m.stepList, int32(c))
+			}
+		}
+		m.stepListDirty = false
+	}
+	return m.stepList
+}
+
+// stepCoreList returns the cores whose thermal nodes step this quantum,
+// ascending: every core except those of parked packages (which settle
+// in closed form when observed).
+func (m *Machine) stepCoreList() []int32 {
+	if !m.async {
+		return m.allCores
+	}
+	if m.stepCoresDirty {
+		cores := m.Cfg.Layout.Cores()
+		m.stepCores = m.stepCores[:0]
+		for core := range m.nodes {
+			if !m.pkgParked[core/cores] {
+				m.stepCores = append(m.stepCores, int32(core))
+			}
+		}
+		m.stepCoresDirty = false
+	}
+	return m.stepCores
+}
 
 // metricDormant reports whether a parked CPU's power metric is
 // deferred. A parked CPU outside any throttle group defers
@@ -253,6 +297,7 @@ func (m *Machine) wakeThrottleGroup(g int) {
 		m.throttles[g].Account(gap)
 	}
 	m.thrDormant[g] = false
+	m.stepListDirty = true // parked members rejoin the per-step path
 }
 
 // activateCPU un-parks a CPU because work is about to be enqueued on it
@@ -272,6 +317,7 @@ func (m *Machine) activateCPU(cpu topology.CPUID) {
 	m.unparkPackage(m.Cfg.Layout.Package(cpu))
 	m.parked[c] = false
 	m.nParked--
+	m.stepListDirty = true
 }
 
 // unparkPackage returns a package to per-quantum thermal stepping.
@@ -285,6 +331,7 @@ func (m *Machine) unparkPackage(p int) {
 	}
 	m.settlePackageThermal(p, to)
 	m.pkgParked[p] = false
+	m.stepCoresDirty = true
 }
 
 // parkIdleCPUs runs at the end of every async step: CPUs that ended the
@@ -296,7 +343,9 @@ func (m *Machine) unparkPackage(p int) {
 func (m *Machine) parkIdleCPUs() {
 	now := m.nowMS
 	newParked := false
-	for c, rq := range m.Sched.RQs {
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
+		rq := m.Sched.RQs[c]
 		if m.parked[c] || rq.Current != nil || len(rq.Queued()) > 0 {
 			continue
 		}
@@ -310,6 +359,7 @@ func (m *Machine) parkIdleCPUs() {
 		m.parked[c] = true
 		m.nParked++
 		newParked = true
+		m.stepListDirty = true
 		m.truePower[c] = m.idleShareW
 		m.execSpeed[c] = 0
 		if m.throttleOf[c] < 0 {
@@ -353,6 +403,7 @@ func (m *Machine) parkIdleCPUs() {
 		}
 		m.thrDormant[g] = true
 		m.thrSettledMS[g] = now
+		m.stepListDirty = true // members' metrics leave the per-step path
 		for _, mc := range members {
 			m.cpuSettledMS[int(mc)] = now
 		}
@@ -403,6 +454,7 @@ pkgs:
 		}
 		m.pkgParked[p] = true
 		m.pkgSettledMS[p] = now
+		m.stepCoresDirty = true
 	}
 }
 
@@ -417,30 +469,41 @@ func (m *Machine) syncBeforeDeadlines(endMS int64) {
 	if m.nParked == 0 {
 		// Nothing parked, nothing deferred: the deadline phase runs
 		// exactly as in the batched engine. The queued count is only
-		// consulted for parked CPUs, so skip the machine-wide scan.
+		// consulted for parked CPUs, so skip even the counter read.
 		m.asyncQueued = 1
 		return
 	}
-	m.asyncQueued = m.Sched.TotalQueued()
+	m.asyncQueued = m.wheel.QueuedCount()
 	observe := false
-	nCPU := len(m.parked)
 	if m.asyncQueued > 0 {
-		for c := 0; c < nCPU; c++ {
-			if m.wheel.BalanceDue(endMS, c) ||
-				(m.Sched.RQ(topology.CPUID(c)).Idle() && m.wheel.IdlePullDue(endMS, c)) {
-				observe = true
-				break
+		if len(m.wheel.BalanceDueCPUs(endMS)) > 0 {
+			observe = true
+		} else {
+			for _, c := range m.wheel.IdlePullDueCPUs(endMS) {
+				if m.Sched.RQ(topology.CPUID(c)).Idle() {
+					observe = true
+					break
+				}
 			}
 		}
 	}
 	if !observe && m.hotArmed {
-		for c := 0; c < nCPU; c++ {
+		for _, c32 := range m.wheel.HotDueCPUs(endMS) {
+			c := int(c32)
 			if m.parked[c] {
 				continue
 			}
 			rq := m.Sched.RQ(topology.CPUID(c))
-			if rq.Current != nil && rq.Len() == 1 && m.Sched.Power[c].MaxPower > 0 &&
-				m.wheel.HotDue(endMS, c) {
+			if rq.Current == nil || rq.Len() != 1 || m.Sched.Power[c].MaxPower <= 0 {
+				continue
+			}
+			// A hot check reads remote metrics only after its §4.5
+			// trigger arms, and the trigger reads nothing but the
+			// checking CPU's own core. Settle just that core and
+			// evaluate: a cold trigger (the common case on big idle
+			// machines) keeps every other parked CPU dormant.
+			m.settleCoreMetrics(c)
+			if m.Sched.HotTrigger(topology.CPUID(c)) {
 				observe = true
 				break
 			}
@@ -448,6 +511,19 @@ func (m *Machine) syncBeforeDeadlines(endMS int64) {
 	}
 	if observe {
 		m.settleDormantMetrics()
+	}
+}
+
+// settleCoreMetrics brings the deferred metrics of one CPU's core —
+// the checking CPU plus its SMT siblings — forward, so the §4.5 hot
+// trigger can be evaluated without observing the rest of the machine.
+func (m *Machine) settleCoreMetrics(c int) {
+	l := m.Cfg.Layout
+	core := l.Core(topology.CPUID(c))
+	for t := 0; t < l.ThreadsPerPackage; t++ {
+		if s := int(l.CPUOfCore(core, t)); m.parked[s] && m.metricDormant(s) {
+			m.settleCPUMetricTo(s, m.metricSettleTo(s))
+		}
 	}
 }
 

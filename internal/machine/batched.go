@@ -6,7 +6,6 @@ import (
 	"energysched/internal/profile"
 	"energysched/internal/sched"
 	"energysched/internal/thermal"
-	"energysched/internal/topology"
 )
 
 // The batched event-horizon engine.
@@ -79,16 +78,11 @@ func (m *Machine) planQuantum(limit int64) int64 {
 	}
 
 	// Earliest sleeper wake-up (a start-of-tick event: the quantum must
-	// end before it). The async engine keeps wake events on a binary
-	// heap, so the horizon is a peek instead of a scan.
-	if m.async {
-		if w := m.earliestWake(); w != sched.NoDeadline {
-			clamp(w - now)
-		}
-	} else {
-		for _, ts := range m.sleepers {
-			clamp(ts.wakeAtMS - now)
-		}
+	// end before it). Both planning engines keep wake events on a
+	// binary heap, so the horizon is a peek instead of a scan over the
+	// sleeper list.
+	if w := m.earliestWake(); w != sched.NoDeadline {
+		clamp(w - now)
 	}
 
 	// Pending P-state transitions are start-of-tick events: the
@@ -108,58 +102,60 @@ func (m *Machine) planQuantum(limit int64) int64 {
 		return 1
 	}
 
-	queued := m.Sched.TotalQueued()
-	nCPU := m.Cfg.Layout.NumLogical()
-	for c := 0; c < nCPU; c++ {
-		if m.async && m.parked[c] && queued == 0 {
-			// Parked and nothing to pull: no horizon to contribute.
+	// Running-task horizons: timeslice expiry, warmup end, and the
+	// workload's rate/stop crossings. Parked and idle CPUs contribute
+	// nothing (no Current task).
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
+		rq := m.Sched.RQs[c]
+		cur := rq.Current
+		if cur == nil {
 			continue
 		}
-		cpu := topology.CPUID(c)
-		rq := m.Sched.RQ(cpu)
-		if cur := rq.Current; cur != nil {
-			clamp(ceilToInt64(cur.SliceLeft))
-			if cur.WarmupLeft > 0 {
-				clamp(ceilToInt64(cur.WarmupLeft))
+		clamp(ceilToInt64(cur.SliceLeft))
+		if cur.WarmupLeft > 0 {
+			clamp(ceilToInt64(cur.WarmupLeft))
+		}
+		if speed := m.execSpeed[c]; speed > 0 {
+			work := m.dispatches[c].task.work
+			if rh := work.RateHorizonMS(); !math.IsInf(rh, 1) {
+				// Rates change inside the crossing millisecond;
+				// isolate it so quantum power is exactly constant.
+				clamp(int64(math.Floor(rh / speed)))
 			}
-			if speed := m.execSpeed[c]; speed > 0 {
-				work := m.dispatches[c].task.work
-				if rh := work.RateHorizonMS(); !math.IsInf(rh, 1) {
-					// Rates change inside the crossing millisecond;
-					// isolate it so quantum power is exactly constant.
-					clamp(int64(math.Floor(rh / speed)))
-				}
-				if sh := work.StopHorizonMS(); !math.IsInf(sh, 1) {
-					// Block/finish take effect at the end of the
-					// crossing millisecond.
-					clamp(ceilToInt64(sh / speed))
-				}
-			}
-			// Hot-task checks act only on single-task CPUs with a power
-			// budget installed; other CPUs' hot deadlines are no-ops.
-			if m.hotArmed && rq.Len() == 1 && m.Sched.Power[c].MaxPower > 0 {
-				if d := m.wheel.NextHot(now, c); d != sched.NoDeadline {
-					clamp(d - now + 1)
-				}
-			}
-			// Governor evaluations act only on occupied CPUs — idle
-			// CPUs keep their P-state, so their deadlines are no-ops.
-			if m.dvfsOn {
-				if d := m.wheel.NextGov(now, c); d != sched.NoDeadline {
-					clamp(d - now + 1)
-				}
+			if sh := work.StopHorizonMS(); !math.IsInf(sh, 1) {
+				// Block/finish take effect at the end of the
+				// crossing millisecond.
+				clamp(ceilToInt64(sh / speed))
 			}
 		}
-		// With zero waiting tasks machine-wide, every balancing pass is
-		// provably a no-op and its deadlines can be skipped — the big
-		// win for idle-heavy workloads.
-		if queued > 0 {
-			if d := m.wheel.NextBalance(now, c); d != sched.NoDeadline {
-				clamp(d - now + 1)
-			}
-			if rq.Idle() {
-				clamp(m.wheel.NextIdlePull(now, c) - now + 1)
-			}
+	}
+
+	// Periodic deadlines, a single O(1) query per class on the
+	// deadline scheduler instead of the former per-CPU modulo sweep.
+	// With zero waiting tasks machine-wide, every balancing pass —
+	// periodic and idle pull alike — is provably a no-op and both
+	// classes are skipped entirely: the big win for idle-heavy
+	// workloads. Hot-check deadlines are armed only for single-task
+	// CPUs with a power budget, governor deadlines only for occupied
+	// CPUs; all other CPUs' instants are no-ops and never reach the
+	// planner.
+	if m.wheel.QueuedCount() > 0 {
+		if d := m.wheel.NextBalanceDeadline(now); d != sched.NoDeadline {
+			clamp(d - now + 1)
+		}
+		if m.wheel.IdleCPUCount() > 0 {
+			clamp(m.wheel.NextIdlePullDeadline(now) - now + 1)
+		}
+	}
+	if m.hotArmed {
+		if d := m.wheel.NextHotDeadline(now); d != sched.NoDeadline {
+			clamp(d - now + 1)
+		}
+	}
+	if m.dvfsOn && m.govPeriod > 0 {
+		if d := m.wheel.NextGovDeadline(now); d != sched.NoDeadline {
+			clamp(d - now + 1)
 		}
 	}
 

@@ -156,6 +156,20 @@ func Large() []Scenario {
 			},
 		)
 	}
+	// Wide-idle at the largest layout: interactive (mostly-blocked)
+	// tasks only, so nearly all 256 CPUs park and the quantum is
+	// bounded by wake-ups alone — the regime the event-driven deadline
+	// scheduler and the lifted MaxQuantumMS cap target: fully-idle
+	// spans cost O(1) per quantum instead of an O(nCPU) deadline sweep
+	// per plan.
+	out = append(out, Scenario{
+		Name: "large/256cpu/wide-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
+		SkipLockstep: true,
+		New: builder(topology.Server256(), 120, false, func(cat *workload.Catalog, m *machine.Machine) {
+			m.SpawnN(cat.Sshd(), 6)
+			m.SpawnN(cat.Httpd(), 6)
+		}),
+	})
 	return out
 }
 

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"energysched/internal/dvfs"
+	"energysched/internal/sched"
+	"energysched/internal/topology"
+)
+
+// Deadline-class indices of the deadlineFires diagnostic counters.
+const (
+	fireBalance = iota
+	fireIdlePull
+	fireHot
+	fireGov
+)
+
+// DeadlineFires returns how many deadline-phase visits each class fired
+// (balance, idle-pull, hot-check, governor) since the last ResetStats —
+// on the event-driven engines, exactly the work the due lists walked
+// instead of an O(nCPU) scan per step. Always zero on the lockstep
+// engine, which fires from the historical modulo scan.
+func (m *Machine) DeadlineFires() (balance, idlePull, hot, gov int64) {
+	return m.deadlineFires[fireBalance], m.deadlineFires[fireIdlePull],
+		m.deadlineFires[fireHot], m.deadlineFires[fireGov]
+}
+
+// DeadlineStats returns the deadline scheduler's event-traffic counters
+// (arming, lazy re-arms, stale drops of the hot/governor heaps).
+func (m *Machine) DeadlineStats() sched.DeadlineStats { return m.wheel.Stats }
+
+// fireDueDeadlines is the event-driven engines' phase 8: run the
+// periodic balance, idle-pull, and hot-check work due exactly at endMS.
+// The due-CPU lists come from the deadline scheduler's static stagger
+// grid, so the visited (CPU, class) set — and, walking the merged lists
+// in ascending CPU order with balance shadowing idle pull, the exact
+// call order — is identical to the lockstep engine's per-CPU modulo
+// scan. Idleness and hot-check applicability are re-checked live at
+// fire time, exactly as the scan does.
+func (m *Machine) fireDueDeadlines(endMS int64) {
+	bal := m.wheel.BalanceDueCPUs(endMS)
+	idle := m.wheel.IdlePullDueCPUs(endMS)
+	hot := m.wheel.HotDueCPUs(endMS)
+	bi, ii, hi := 0, 0, 0
+	for bi < len(bal) || ii < len(idle) || hi < len(hot) {
+		c := int32(1) << 30
+		if bi < len(bal) && bal[bi] < c {
+			c = bal[bi]
+		}
+		if ii < len(idle) && idle[ii] < c {
+			c = idle[ii]
+		}
+		if hi < len(hot) && hot[hi] < c {
+			c = hot[hi]
+		}
+		balDue := bi < len(bal) && bal[bi] == c
+		if balDue {
+			bi++
+		}
+		idleDue := ii < len(idle) && idle[ii] == c
+		if idleDue {
+			ii++
+		}
+		hotDue := hi < len(hot) && hot[hi] == c
+		if hotDue {
+			hi++
+		}
+		ci := int(c)
+		if m.cpuParked(ci) && m.asyncQueued == 0 {
+			// Parked with nothing to pull machine-wide: every pass is a
+			// provable no-op.
+			continue
+		}
+		cpu := topology.CPUID(ci)
+		if balDue {
+			m.deadlineFires[fireBalance]++
+			m.Sched.Balance(cpu)
+			m.Sched.UnitBalance(cpu)
+		} else if idleDue && m.Sched.RQ(cpu).Idle() {
+			// Idle balancing: an idle CPU tries to pull work promptly,
+			// like Linux's idle rebalance.
+			m.deadlineFires[fireIdlePull]++
+			m.Sched.Balance(cpu)
+		}
+		if hotDue {
+			m.deadlineFires[fireHot]++
+			if m.Sched.HotCheck(cpu) && m.async {
+				// The hot migration (or exchange) re-enqueued a running
+				// task, so a parked CPU's balance pass later this tick
+				// is no longer a provable no-op: refresh the queued
+				// count the skip condition consults. (Deferred metrics
+				// were already settled: a due hot check makes
+				// syncBeforeDeadlines observe.)
+				m.asyncQueued = m.wheel.QueuedCount()
+			}
+		}
+	}
+}
+
+// governorEval runs one due DVFS governor evaluation for an occupied
+// CPU: feed the governor its utilization and power signals and, if it
+// picks a different P-state, schedule the pending transition after the
+// transition latency. While one is pending, further evaluations are
+// skipped, as in cpufreq.
+func (m *Machine) governorEval(c int, endMS int64) {
+	rq := m.Sched.RQ(topology.CPUID(c))
+	if rq.Current == nil {
+		return
+	}
+	if m.Sched.Util[c].Window(endMS) <= 0 {
+		// Zero-width window (a deadline at simulation start): no signal
+		// yet — don't let util read 0 for a CPU that just started a
+		// saturating task.
+		return
+	}
+	util := m.Sched.Utilization(c, endMS)
+	if m.pendingIdx[c] >= 0 {
+		return // transition in flight; window already reset
+	}
+	inst := 0.0
+	// ranMS > 0 rules out a dispatch freshly installed at this very
+	// tick (a finish/block with immediate re-dispatch landing on the
+	// governor deadline): its rates never ran a millisecond, and
+	// execSpeed still describes the departed task's quantum. inst stays
+	// 0 and the governor holds.
+	if d := &m.dispatches[c]; d.task != nil && d.ranMS > 0 {
+		inst = m.estRatePowerW(c)
+	}
+	want := m.gov.Evaluate(dvfs.Inputs{
+		Util:          util,
+		ThermalPowerW: m.Sched.Power[c].ThermalPower(),
+		InstPowerW:    inst,
+		MaxPowerW:     m.Sched.Power[c].MaxPower,
+		Cur:           m.freqIdx[c],
+		Ladder:        m.dvfsCfg.Ladder,
+	})
+	if want < 0 {
+		want = 0
+	}
+	if max := m.dvfsCfg.Ladder.Max(); want > max {
+		want = max
+	}
+	if want != m.freqIdx[c] {
+		m.pendingIdx[c] = want
+		m.pendingAt[c] = endMS + 1 + m.govLatency
+		m.nPending++
+	}
+}

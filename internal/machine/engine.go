@@ -2,7 +2,6 @@ package machine
 
 import (
 	"energysched/internal/counters"
-	"energysched/internal/dvfs"
 	"energysched/internal/sched"
 	"energysched/internal/topology"
 	"energysched/internal/trace"
@@ -53,6 +52,12 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.thermalDone = false
 		m.accountDone = false
 	}
+	if m.eventDriven {
+		// Deadlines armed by this step's start-of-tick occupancy
+		// changes (wakes, dispatches) are computed from the quantum's
+		// first tick.
+		m.wheel.SetNow(m.nowMS)
+	}
 
 	// 1. Wake sleepers whose block time elapsed. Wake-up keeps CPU
 	// affinity: the task returns to the runqueue it blocked on.
@@ -98,7 +103,8 @@ func (m *Machine) step(limitMS int64) int64 {
 
 	// 2. Dispatch idle CPUs (parked CPUs provably have empty queues:
 	// any enqueue un-parks the target first).
-	for c := 0; c < nCPU; c++ {
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
 		if m.cpuParked(c) {
 			continue
 		}
@@ -144,7 +150,8 @@ func (m *Machine) step(limitMS int64) int64 {
 			}
 		}
 	}
-	for c := 0; c < nCPU; c++ {
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
 		if m.cpuParked(c) {
 			continue // execSpeed stays 0; no runnable task, no trace edge
 		}
@@ -192,7 +199,8 @@ func (m *Machine) step(limitMS int64) int64 {
 	// a migration (§4.1) fold in here too, so execSpeed is the final
 	// execution speed of the quantum.
 	if threads > 1 {
-		for c := 0; c < nCPU; c++ {
+		for _, c32 := range m.stepCPUs() {
+			c := int(c32)
 			if m.execSpeed[c] == 0 {
 				continue
 			}
@@ -205,7 +213,8 @@ func (m *Machine) step(limitMS int64) int64 {
 			}
 		}
 	}
-	for c := 0; c < nCPU; c++ {
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
 		if m.execSpeed[c] == 0 {
 			continue
 		}
@@ -225,8 +234,8 @@ func (m *Machine) step(limitMS int64) int64 {
 	// whatever its frequency.) execSpeed is now the final execution
 	// speed of the quantum, and every planner horizon divides by it.
 	if m.dvfsOn {
-		for c := 0; c < nCPU; c++ {
-			if m.execSpeed[c] > 0 {
+		for _, c32 := range m.stepCPUs() {
+			if c := int(c32); m.execSpeed[c] > 0 {
 				m.execSpeed[c] *= m.speedScale[c]
 			}
 		}
@@ -247,6 +256,11 @@ func (m *Machine) step(limitMS int64) int64 {
 	// before returning.
 	m.nowMS += dt - 1
 	endMS := m.nowMS
+	if m.eventDriven {
+		// End-of-tick occupancy changes (blocks, finishes, respawns,
+		// migrations) arm deadlines from the quantum's last tick.
+		m.wheel.SetNow(endMS)
+	}
 	for i, th := range m.throttles {
 		if m.async && m.thrDormant[i] {
 			continue // accounted lazily when the group wakes
@@ -265,8 +279,8 @@ func (m *Machine) step(limitMS int64) int64 {
 	if m.async {
 		m.accountDone = true
 	}
-	for c := 0; c < nCPU; c++ {
-		if throttledStep[c] && m.Sched.RQ(topology.CPUID(c)).Current != nil {
+	for _, c32 := range m.stepCPUs() {
+		if c := int(c32); throttledStep[c] && m.Sched.RQ(topology.CPUID(c)).Current != nil {
 			m.haltedTicks[c] += dt
 		}
 	}
@@ -277,7 +291,8 @@ func (m *Machine) step(limitMS int64) int64 {
 		// which haltedTicks already counts — the two enforcement
 		// signatures partition the time instead of overlapping.
 		nominal := m.dvfsCfg.Ladder.Max()
-		for c := 0; c < nCPU; c++ {
+		for _, c32 := range m.stepCPUs() {
+			c := int(c32)
 			if m.freqIdx[c] < nominal && m.execSpeed[c] > 0 &&
 				m.Sched.RQ(topology.CPUID(c)).Current != nil {
 				m.downTicks[c] += dt
@@ -395,11 +410,9 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.metricsDone = true
 		m.phase6CPU = -1
 	}
-	coresPerPkg := layout.Cores()
-	for core := range m.nodes {
-		if m.async && m.pkgParked[core/coresPerPkg] {
-			continue
-		}
+	liveCores := m.stepCoreList()
+	for _, core32 := range liveCores {
+		core := int(core32)
 		sum := 0.0
 		for t := 0; t < threads; t++ {
 			sum += m.truePower[int(layout.CPUOfCore(core, t))]
@@ -407,10 +420,8 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.corePower[core] = sum
 		m.coreStartTemp[core] = m.nodes[core].TempC
 	}
-	for core := range m.nodes {
-		if m.async && m.pkgParked[core/coresPerPkg] {
-			continue
-		}
+	for _, core32 := range liveCores {
+		core := int(core32)
 		eff := m.coupledEffPower(m.corePower, core)
 		m.coreEff[core] = eff
 		m.nodes[core].StepExact(eff, fdt)
@@ -421,10 +432,8 @@ func (m *Machine) step(limitMS int64) int64 {
 		}
 	}
 	if m.unitNodes != nil {
-		for core := range m.unitNodes {
-			if m.async && m.pkgParked[core/coresPerPkg] {
-				continue
-			}
+		for _, core32 := range liveCores {
+			core := int(core32)
 			if dt == 1 {
 				// The lockstep path: hotspots ride on the core
 				// temperature just stepped.
@@ -447,97 +456,64 @@ func (m *Machine) step(limitMS int64) int64 {
 	}
 
 	// 8. Periodic balancing and hot-task checks, staggered per CPU on
-	// the deadline wheel. The batched planner guarantees no deadline
-	// falls strictly inside the quantum, so checking the end tick alone
-	// visits exactly the instants the lockstep loop visits. These
-	// passes read thermal power across the machine, so the async engine
-	// settles its deferred metrics first when any pass will evaluate;
-	// with nothing queued a parked CPU's pass is a provable no-op and
-	// is skipped outright.
+	// the deadline scheduler. The batched planner guarantees no
+	// relevant deadline falls strictly inside the quantum, so firing at
+	// the end tick alone visits exactly the instants the lockstep loop
+	// visits. These passes read thermal power across the machine, so
+	// the async engine settles its deferred metrics first when any pass
+	// will evaluate; with nothing queued a parked CPU's pass is a
+	// provable no-op and is skipped outright. The event-driven engines
+	// walk the precomputed due-CPU lists of the end tick; the lockstep
+	// engine keeps the historical per-CPU modulo scan, the reference
+	// the due lists are asserted byte-identical against.
 	if m.async {
 		m.thermalDone = true
 		m.syncBeforeDeadlines(endMS)
 	}
-	for c := 0; c < nCPU; c++ {
-		if m.cpuParked(c) && m.asyncQueued == 0 {
-			continue
-		}
-		cpu := topology.CPUID(c)
-		if m.wheel.BalanceDue(endMS, c) {
-			m.Sched.Balance(cpu)
-			m.Sched.UnitBalance(cpu)
-		} else if m.Sched.RQ(cpu).Idle() && m.wheel.IdlePullDue(endMS, c) {
-			// Idle balancing: an idle CPU tries to pull work promptly,
-			// like Linux's idle rebalance.
-			m.Sched.Balance(cpu)
-		}
-		if m.wheel.HotDue(endMS, c) {
-			if m.Sched.HotCheck(cpu) && m.async {
-				// The hot migration (or exchange) re-enqueued a
-				// running task, so a parked CPU's balance pass later
-				// this tick is no longer a provable no-op: refresh the
-				// queued count the loop's skip condition consults.
-				// (Deferred metrics were already settled: a due hot
-				// check makes syncBeforeDeadlines observe.)
-				m.asyncQueued = m.Sched.TotalQueued()
+	if m.eventDriven {
+		m.fireDueDeadlines(endMS)
+	} else {
+		for c := 0; c < nCPU; c++ {
+			if m.cpuParked(c) && m.asyncQueued == 0 {
+				continue
+			}
+			cpu := topology.CPUID(c)
+			if m.wheel.BalanceDue(endMS, c) {
+				m.Sched.Balance(cpu)
+				m.Sched.UnitBalance(cpu)
+			} else if m.Sched.RQ(cpu).Idle() && m.wheel.IdlePullDue(endMS, c) {
+				// Idle balancing: an idle CPU tries to pull work
+				// promptly, like Linux's idle rebalance.
+				m.Sched.Balance(cpu)
+			}
+			if m.wheel.HotDue(endMS, c) {
+				m.Sched.HotCheck(cpu)
 			}
 		}
 	}
 
 	// 8b. DVFS governor evaluations, staggered per CPU on the deadline
-	// wheel like the balancer passes. Only occupied CPUs are evaluated:
-	// an idle CPU sits in hlt, where its P-state draws no extra power
-	// and decides nothing — it simply keeps its last state (which is
-	// what lets the async engine park idle CPUs without deferring any
-	// governor work). A decision schedules a pending transition that
-	// takes effect after the transition latency; while one is pending,
-	// further evaluations are skipped, as in cpufreq.
+	// scheduler like the balancer passes. Only occupied CPUs are
+	// evaluated: an idle CPU sits in hlt, where its P-state draws no
+	// extra power and decides nothing — it simply keeps its last state
+	// (which is what lets the async engine park idle CPUs without
+	// deferring any governor work).
 	if m.dvfsOn && m.govPeriod > 0 {
-		for c := 0; c < nCPU; c++ {
-			if m.cpuParked(c) || !m.wheel.GovDue(endMS, c) {
-				continue
+		if m.eventDriven {
+			for _, c32 := range m.wheel.GovDueCPUs(endMS) {
+				c := int(c32)
+				if m.cpuParked(c) {
+					continue
+				}
+				m.deadlineFires[fireGov]++
+				m.governorEval(c, endMS)
 			}
-			rq := m.Sched.RQ(topology.CPUID(c))
-			if rq.Current == nil {
-				continue
-			}
-			if m.Sched.Util[c].Window(endMS) <= 0 {
-				// Zero-width window (a deadline at simulation start):
-				// no signal yet — don't let util read 0 for a CPU that
-				// just started a saturating task.
-				continue
-			}
-			util := m.Sched.Utilization(c, endMS)
-			if m.pendingIdx[c] >= 0 {
-				continue // transition in flight; window already reset
-			}
-			inst := 0.0
-			// ranMS > 0 rules out a dispatch freshly installed at this
-			// very tick (a finish/block with immediate re-dispatch
-			// landing on the governor deadline): its rates never ran a
-			// millisecond, and execSpeed still describes the departed
-			// task's quantum. inst stays 0 and the governor holds.
-			if d := &m.dispatches[c]; d.task != nil && d.ranMS > 0 {
-				inst = m.estRatePowerW(c)
-			}
-			want := m.gov.Evaluate(dvfs.Inputs{
-				Util:          util,
-				ThermalPowerW: m.Sched.Power[c].ThermalPower(),
-				InstPowerW:    inst,
-				MaxPowerW:     m.Sched.Power[c].MaxPower,
-				Cur:           m.freqIdx[c],
-				Ladder:        m.dvfsCfg.Ladder,
-			})
-			if want < 0 {
-				want = 0
-			}
-			if max := m.dvfsCfg.Ladder.Max(); want > max {
-				want = max
-			}
-			if want != m.freqIdx[c] {
-				m.pendingIdx[c] = want
-				m.pendingAt[c] = endMS + 1 + m.govLatency
-				m.nPending++
+		} else {
+			for c := 0; c < nCPU; c++ {
+				if m.cpuParked(c) || !m.wheel.GovDue(endMS, c) {
+					continue
+				}
+				m.governorEval(c, endMS)
 			}
 		}
 	}
@@ -597,6 +573,12 @@ func (m *Machine) throttledCPUs() []bool {
 		m.throttleScratch = make([]bool, nCPU)
 	}
 	out := m.throttleScratch
+	if len(m.throttles) == 0 && m.unitThrottles == nil {
+		// No throttle can ever engage: the scratch stays all-false (the
+		// per-CPU decision loop only ever writes false back), so the
+		// per-step clear is skipped.
+		return out
+	}
 	for i := range out {
 		out[i] = false
 	}
@@ -696,7 +678,7 @@ func (m *Machine) blockTask(cpu topology.CPUID, ts *taskState, blockMS float64, 
 	ts.sleeping = true
 	ts.wakeAtMS = atMS + int64(blockMS)
 	m.sleepers = append(m.sleepers, ts)
-	if m.async {
+	if m.eventDriven {
 		m.wakePQ.Push(ts.wakeAtMS, ts.st.ID)
 	}
 	if t := rq.PickNext(); t != nil {

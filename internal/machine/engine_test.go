@@ -462,6 +462,22 @@ func assertEquivalent(t *testing.T, lock, bat *Machine) {
 	if d := relDiff(lock.WorkDoneMS, bat.WorkDoneMS); d > 1e-9 {
 		t.Errorf("work done rel diff %.2e", d)
 	}
+	// The deadline scheduler's incrementally maintained gate counters
+	// must agree with full scans on the event-driven engines.
+	if bat.eventDriven {
+		if got, want := bat.wheel.QueuedCount(), bat.Sched.TotalQueued(); got != want {
+			t.Errorf("queued counter drifted: %d vs TotalQueued %d", got, want)
+		}
+		idle := 0
+		for _, rq := range bat.Sched.RQs {
+			if rq.Idle() {
+				idle++
+			}
+		}
+		if got := bat.wheel.IdleCPUCount(); got != idle {
+			t.Errorf("idle counter drifted: %d vs scan %d", got, idle)
+		}
+	}
 	// Tasks ended up in identical scheduler states.
 	if lock.Sched.TotalTasks() != bat.Sched.TotalTasks() || len(lock.sleepers) != len(bat.sleepers) {
 		t.Errorf("task states differ: %d/%d runnable, %d/%d asleep",

@@ -131,8 +131,18 @@ func (e Engine) String() string {
 // event horizon is nearer. It caps how long the engine may go without
 // re-evaluating throttle inputs against their closed-form predictions,
 // and bounds the drift window of the conservative unit-temperature
-// horizon.
+// horizon. On machines with no throttle configured there is nothing to
+// re-evaluate — every remaining horizon (wakes, slices, rate changes,
+// deadlines, monitor samples) is exact — so the cap is lifted entirely
+// unless the config pinned MaxQuantumMS explicitly: fully-idle spans
+// integrate in a single closed-form quantum bounded only by the next
+// real event.
 const DefaultMaxQuantumMS = 64
+
+// unboundedQuantumMS is the effective cap of a lifted-quantum machine —
+// far beyond any Run duration, so quanta are bounded by real horizons
+// alone.
+const unboundedQuantumMS = int64(1) << 40
 
 // Config describes one simulated machine.
 type Config struct {
@@ -306,9 +316,36 @@ type Machine struct {
 	rng         *rng.Source
 
 	// Batched-engine state.
-	wheel      *sched.Wheel // deadline wheel for staggered periodic work
-	maxQuantum int64        // resolved MaxQuantumMS
+	wheel      *sched.Wheel // deadline scheduler for staggered periodic work
+	maxQuantum int64        // resolved MaxQuantumMS (lifted when no throttle)
 	hotArmed   bool         // hot-check deadlines can ever act
+	// eventDriven marks the planning engines (batched, async): the
+	// deadline scheduler is attached, wake-ups live on the event heap,
+	// and the periodic-deadline phases fire from due lists instead of
+	// the per-CPU modulo scan (which the lockstep engine keeps as the
+	// reference behavior).
+	eventDriven bool
+	// deadlineFires counts fired deadline-phase visits per class
+	// (balance, idle-pull, hot, governor) on the event-driven engines —
+	// diagnostics for the deadline scheduler, not simulation state.
+	deadlineFires [4]int64
+
+	// Per-step iteration sets. The shared step's per-CPU and per-core
+	// phases walk these instead of ranging 0..n and skipping: for the
+	// lockstep and batched engines they are the identity lists (built
+	// once); the async engine maintains stepList as the CPUs in the
+	// per-step path (un-parked, plus parked members of live throttle
+	// groups, ascending) and stepCores as the cores of un-parked
+	// packages, rebuilt lazily when parking state changes. The
+	// execution phase (6) deliberately keeps the full live-checked
+	// sweep: a CPU activated mid-phase by a spawn placement must be
+	// visited at exactly its index position (see metricSettleTo).
+	allCPUs        []int32
+	allCores       []int32
+	stepList       []int32
+	stepCores      []int32
+	stepListDirty  bool
+	stepCoresDirty bool
 
 	// Async-engine state (see async.go; nil/zero for other engines).
 	async        bool
@@ -474,6 +511,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Engine != EngineBatched && cfg.Engine != EngineLockstep && cfg.Engine != EngineAsync {
 		return nil, fmt.Errorf("machine: unknown engine %d", int(cfg.Engine))
 	}
+	capExplicit := cfg.MaxQuantumMS != 0
 	if cfg.MaxQuantumMS == 0 {
 		cfg.MaxQuantumMS = DefaultMaxQuantumMS
 	}
@@ -510,6 +548,25 @@ func New(cfg Config) (*Machine, error) {
 		maxQuantum:        int64(cfg.MaxQuantumMS),
 	}
 	m.hotArmed = cfg.Sched.HotTaskMigration && int64(cfg.Sched.HotCheckPeriodMS) > 0
+	m.eventDriven = cfg.Engine != EngineLockstep
+	m.allCPUs = make([]int32, nCPU)
+	for c := range m.allCPUs {
+		m.allCPUs[c] = int32(c)
+	}
+	m.allCores = make([]int32, nCore)
+	for c := range m.allCores {
+		m.allCores[c] = int32(c)
+	}
+	if !capExplicit && !cfg.ThrottleEnabled {
+		// No throttle to re-evaluate: quanta are bounded by real event
+		// horizons alone (the lockstep engine steps 1 ms regardless).
+		m.maxQuantum = unboundedQuantumMS
+	}
+	if m.eventDriven {
+		// Pending wake-ups on a lazy-deletion min-heap: the planner
+		// peeks the earliest wake instead of scanning the sleeper list.
+		m.wakePQ = sched.NewEventQueue(64)
+	}
 
 	// DVFS: resolve the ladder/governor configuration and start every
 	// CPU at the nominal P-state, so a "performance"-governed machine
@@ -628,6 +685,15 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 
+	// Attach the event-driven deadline scheduler (after the power
+	// trackers: hot-check eligibility reads MaxPower). The lockstep
+	// engine stays unattached — its periodic work keeps firing from the
+	// per-tick modulo checks, the reference the event-driven engines
+	// are asserted byte-identical against.
+	if m.eventDriven {
+		m.Sched.AttachDeadlines(m.wheel)
+	}
+
 	// Metric series.
 	if cfg.MonitorPeriodMS > 0 {
 		step := float64(cfg.MonitorPeriodMS) / 1000
@@ -721,6 +787,9 @@ func (m *Machine) Spawn(prog *workload.Program) *sched.Task {
 		prog: prog,
 	}
 	m.tasks[id] = ts
+	if m.eventDriven {
+		m.wheel.SetNow(m.nowMS)
+	}
 	if m.async {
 		// Placement reads runqueue ratios and thermal powers across
 		// the whole machine; deferred idle metrics must be settled

@@ -178,6 +178,8 @@ func (m *Machine) ResetStats() {
 	for i := range m.downTicks {
 		m.downTicks[i] = 0
 	}
+	m.deadlineFires = [4]int64{}
+	m.wheel.Stats = sched.DeadlineStats{}
 	// Peak temperature restarts from the hottest current core.
 	m.peakTempC = 0
 	for _, n := range m.nodes {

@@ -26,10 +26,10 @@ func TestCrossStepsMatchesIteration(t *testing.T) {
 		v0, target, retain, threshold float64
 		rising                        bool
 	}{
-		{13.6, 61, 0.99993, 40, true},  // engage: metric rising toward a hot task's power
+		{13.6, 61, 0.99993, 40, true},    // engage: metric rising toward a hot task's power
 		{40, 1.7, 0.99993, 39.75, false}, // disengage: halted CPU decaying to idle power
-		{30, 45, 0.999, 44.999, true},  // crawl: asymptote barely above the threshold
-		{30, 40, 0.9, 35, true},        // fast metric
+		{30, 45, 0.999, 44.999, true},    // crawl: asymptote barely above the threshold
+		{30, 40, 0.9, 35, true},          // fast metric
 		{50, 10, 0.95, 20, false},
 	}
 	for _, c := range cases {

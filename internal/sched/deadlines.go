@@ -1,0 +1,371 @@
+package sched
+
+// This file turns the Wheel's static stagger grid into an event-driven
+// deadline *scheduler*: instead of asking "when is CPU c's next
+// deadline?" for every CPU on every quantum plan (an O(nCPU) sweep that
+// dominated fully-idle steps at 256 CPUs), the attached wheel answers
+// two machine-wide questions in O(1):
+//
+//	"when is the next deadline of class X at or after T?"   (planning)
+//	"which CPUs have a class-X deadline exactly at T?"      (firing)
+//
+// The four deadline classes fall into two camps:
+//
+//   - Balance and idle-pull deadlines are gated machine-wide (they are
+//     provably no-ops with zero queued tasks) but never per CPU, and
+//     their instants are a fixed function of the CPU index. Both
+//     questions are therefore answered by static residue tables built
+//     once at attach time: for every residue r = T mod period, the
+//     delta to the next due instant and the ascending list of CPUs due.
+//     Nothing is ever armed, re-armed, or popped for these classes.
+//
+//   - Hot-check and governor deadlines are gated per CPU (hot checks
+//     act only on single-task CPUs with a power budget, governors only
+//     on occupied CPUs), so each CPU's deadline is *armed* onto a
+//     lazy-deletion EventQueue when its runqueue enters the relevant
+//     state and lazily dropped when it leaves. The planner peeks the
+//     earliest armed entry; entries whose instant has passed (the
+//     quantum ended on them and the CPU stayed armed) are re-armed on
+//     the exact stagger grid, so deadline instants are bit-identical to
+//     the lockstep loop's modulo checks. Firing still consults the
+//     static grid (the due lists), never the heap — the heap exists
+//     only to bound the planner's horizon, so a stale or duplicate
+//     entry can cost a too-short quantum but never a wrong decision.
+//
+// Arming transitions are driven by runqueue mutation notifications
+// (Runqueue.notify → Wheel.rqChanged), which also maintain the
+// machine-wide queued-task and idle-CPU counters the planner gates on —
+// turning the former O(nCPU) TotalQueued sweep per plan into a counter
+// read. A parked CPU has an empty runqueue, so it keeps no hot or
+// governor deadline armed; its balance/idle-pull instants live only in
+// the static tables and cost nothing until a queued task makes the
+// class relevant again. When work lands on a settled CPU, the enqueue
+// notification re-arms its per-CPU classes in the same call.
+//
+// The wheel must be attached (Scheduler.AttachDeadlines) before any of
+// the event-driven queries are used; the modulo Due/Next methods keep
+// working unattached and remain the lockstep engine's reference path.
+
+// maxResidueTableMS bounds the period for which per-residue tables are
+// precomputed. Classes with longer periods (far beyond any sane policy
+// config) fall back to O(nCPU) scans, which at such periods are
+// amortized over enormous quanta anyway.
+const maxResidueTableMS = 1 << 16
+
+// DeadlineStats counts the deadline scheduler's event traffic — a
+// diagnostic for the planner's cost, not part of the simulation state
+// (and deliberately absent from the event trace, which must stay
+// byte-identical across engines).
+type DeadlineStats struct {
+	// HotArms / GovArms count deadline events pushed when a CPU entered
+	// the class's armed state.
+	HotArms, GovArms int64
+	// HotRearms / GovRearms count past deadlines pushed forward on the
+	// stagger grid by the planner's lazy refresh.
+	HotRearms, GovRearms int64
+	// HotStale / GovStale count lazily discarded entries whose CPU left
+	// the armed state (or re-armed under a newer instant).
+	HotStale, GovStale int64
+}
+
+// dueTable answers both deadline-class questions for a fixed (period,
+// stagger, nCPU) grid, keyed by the residue T mod period.
+type dueTable struct {
+	period int64
+	// next[r] is the delta from a time with residue r to the nearest
+	// instant at which any CPU is due.
+	next []int32
+	// cpus[idx[r]:idx[r+1]] lists, ascending, the CPUs due at residue r.
+	idx  []int32
+	cpus []int32
+}
+
+// dueResidue returns the residue class at which CPU c is due: the
+// instants T with (T + stagger·c) mod period == 0.
+func dueResidue(period, stagger int64, c int) int64 {
+	return (period - (int64(c)*stagger)%period) % period
+}
+
+// newDueTable builds the residue tables, or returns nil when the class
+// is disabled or the period exceeds the table bound.
+func newDueTable(period, stagger int64, n int) *dueTable {
+	if period <= 0 || period > maxResidueTableMS {
+		return nil
+	}
+	t := &dueTable{period: period}
+	counts := make([]int32, period)
+	for c := 0; c < n; c++ {
+		counts[dueResidue(period, stagger, c)]++
+	}
+	t.idx = make([]int32, period+1)
+	for r := int64(0); r < period; r++ {
+		t.idx[r+1] = t.idx[r] + counts[r]
+	}
+	t.cpus = make([]int32, t.idx[period])
+	fill := make([]int32, period)
+	for c := 0; c < n; c++ {
+		r := dueResidue(period, stagger, c)
+		t.cpus[t.idx[r]+fill[r]] = int32(c)
+		fill[r]++
+	}
+	// next deltas: one descending pass over two unrolled periods so the
+	// wrap-around distance is known when the first period is filled.
+	t.next = make([]int32, period)
+	dist := int32(2 * maxResidueTableMS) // n == 0: nothing ever due
+	for i := 2*period - 1; i >= 0; i-- {
+		r := i % period
+		if counts[r] > 0 {
+			dist = 0
+		} else {
+			dist++
+		}
+		if i < period {
+			t.next[r] = dist
+		}
+	}
+	return t
+}
+
+// nextFrom returns the first instant ≥ now at which any CPU is due.
+func (t *dueTable) nextFrom(now int64) int64 { return now + int64(t.next[now%t.period]) }
+
+// due returns the ascending CPUs due exactly at now.
+func (t *dueTable) due(now int64) []int32 {
+	r := now % t.period
+	return t.cpus[t.idx[r]:t.idx[r+1]]
+}
+
+// AttachDeadlines wires the wheel into the scheduler as its event-driven
+// deadline scheduler: runqueue mutations from here on maintain the
+// queued/idle counters and the hot/governor arming. The machine attaches
+// once, after the per-CPU power trackers are installed (hot eligibility
+// reads MaxPower) and before any task is spawned.
+func (s *Scheduler) AttachDeadlines(w *Wheel) {
+	w.attach(s)
+	for _, rq := range s.RQs {
+		rq.notify = w
+	}
+}
+
+func (w *Wheel) attach(s *Scheduler) {
+	n := len(s.RQs)
+	w.attached = true
+	w.sched = s
+	w.nCPU = n
+	w.balTab = newDueTable(w.balP, BalanceStaggerMS, n)
+	w.hotTab = newDueTable(w.hotP, HotStaggerMS, n)
+	w.idleTab = newDueTable(IdlePullPeriodMS, 1, n)
+	w.govTab = newDueTable(w.govP, GovStaggerMS, n)
+	w.hotQ = NewEventQueue(n)
+	w.govQ = NewEventQueue(n)
+	w.hotAt = make([]int64, n)
+	w.govAt = make([]int64, n)
+	w.hotEligible = make([]bool, n)
+	hotOn := s.Cfg.HotTaskMigration && w.hotP > 0
+	for c := 0; c < n; c++ {
+		w.hotAt[c], w.govAt[c] = -1, -1
+		w.hotEligible[c] = hotOn && s.Power[c] != nil && s.Power[c].MaxPower > 0
+	}
+	w.prevQueued = make([]int32, n)
+	w.isIdle = make([]bool, n)
+	w.queued, w.idleCPUs = 0, 0
+	for c, rq := range s.RQs {
+		w.prevQueued[c] = int32(len(rq.Queued()))
+		w.queued += len(rq.Queued())
+		if rq.Idle() {
+			w.isIdle[c] = true
+			w.idleCPUs++
+		}
+		w.refreshArming(c, rq)
+	}
+}
+
+// SetNow advances the scheduler's notion of simulated time, from which
+// freshly armed deadlines are computed. The machine calls it whenever
+// its clock moves (quantum start and quantum end); time never goes
+// backwards.
+func (w *Wheel) SetNow(nowMS int64) { w.nowMS = nowMS }
+
+// rqChanged is the runqueue mutation notification: refresh the
+// machine-wide counters and this CPU's armed deadline classes.
+func (w *Wheel) rqChanged(rq *Runqueue) {
+	c := int(rq.CPU)
+	q := int32(len(rq.queue))
+	w.queued += int(q - w.prevQueued[c])
+	w.prevQueued[c] = q
+	idle := rq.Len() == 0
+	if idle != w.isIdle[c] {
+		w.isIdle[c] = idle
+		if idle {
+			w.idleCPUs++
+		} else {
+			w.idleCPUs--
+		}
+	}
+	w.refreshArming(c, rq)
+}
+
+// refreshArming arms or disarms CPU c's hot-check and governor
+// deadlines to match its runqueue state. Disarming is lazy (the heap
+// entry is recognized as stale when it surfaces); arming pushes the
+// next on-grid instant.
+func (w *Wheel) refreshArming(c int, rq *Runqueue) {
+	if w.hotEligible[c] {
+		if want, armed := rq.Len() == 1, w.hotAt[c] >= 0; want != armed {
+			if want {
+				at := nextAt(w.nowMS, w.hotP, int64(c)*HotStaggerMS)
+				w.hotAt[c] = at
+				w.hotQ.Push(at, c)
+				w.Stats.HotArms++
+			} else {
+				w.hotAt[c] = -1
+			}
+		}
+	}
+	if w.govP > 0 {
+		if want, armed := rq.Current != nil, w.govAt[c] >= 0; want != armed {
+			if want {
+				at := nextAt(w.nowMS, w.govP, int64(c)*GovStaggerMS)
+				w.govAt[c] = at
+				w.govQ.Push(at, c)
+				w.Stats.GovArms++
+			} else {
+				w.govAt[c] = -1
+			}
+		}
+	}
+}
+
+// QueuedCount returns the machine-wide count of waiting (non-running)
+// tasks, maintained incrementally — the O(1) replacement for the
+// TotalQueued sweep in the planner's balance gate.
+func (w *Wheel) QueuedCount() int { return w.queued }
+
+// IdleCPUCount returns the number of CPUs with nothing to run.
+func (w *Wheel) IdleCPUCount() int { return w.idleCPUs }
+
+// NextBalanceDeadline returns the earliest time ≥ now at which any
+// CPU's periodic balance is due, or NoDeadline when balancing is
+// disabled. The caller applies the machine-wide queued-task gate.
+func (w *Wheel) NextBalanceDeadline(now int64) int64 {
+	if w.balTab != nil {
+		return w.balTab.nextFrom(now)
+	}
+	return w.nextAnyScan(now, w.balP, BalanceStaggerMS)
+}
+
+// NextIdlePullDeadline returns the earliest time ≥ now at which any
+// CPU's idle pull is due. The caller gates on queued tasks and idle
+// CPUs; the instant is the minimum over all CPUs (a superset of the
+// idle ones — a too-early quantum end is harmless, a missed deadline is
+// not).
+func (w *Wheel) NextIdlePullDeadline(now int64) int64 {
+	return w.idleTab.nextFrom(now)
+}
+
+// NextHotDeadline returns the earliest armed hot-check deadline ≥ now,
+// or NoDeadline when no CPU is in the hot-checkable state (single task,
+// power budget installed). Stale entries are discarded and past
+// entries of still-armed CPUs re-armed on the stagger grid.
+func (w *Wheel) NextHotDeadline(now int64) int64 {
+	return w.nextArmed(now, w.hotQ, w.hotAt, w.hotP, HotStaggerMS,
+		&w.Stats.HotStale, &w.Stats.HotRearms)
+}
+
+// NextGovDeadline returns the earliest armed governor deadline ≥ now,
+// or NoDeadline when no CPU is occupied (or DVFS is off).
+func (w *Wheel) NextGovDeadline(now int64) int64 {
+	if w.govP <= 0 {
+		return NoDeadline
+	}
+	return w.nextArmed(now, w.govQ, w.govAt, w.govP, GovStaggerMS,
+		&w.Stats.GovStale, &w.Stats.GovRearms)
+}
+
+func (w *Wheel) nextArmed(now int64, q *EventQueue, armedAt []int64, period, stagger int64, stale, rearms *int64) int64 {
+	for {
+		at, c, ok := q.Peek()
+		if !ok {
+			return NoDeadline
+		}
+		if armedAt[c] != at {
+			q.Pop() // disarmed, or re-armed under a newer instant
+			*stale++
+			continue
+		}
+		if at >= now {
+			return at
+		}
+		// The quantum ended on this deadline and the CPU stayed armed:
+		// push it forward to the next on-grid instant.
+		q.Pop()
+		nat := nextAt(now, period, int64(c)*stagger)
+		armedAt[c] = nat
+		q.Push(nat, c)
+		*rearms++
+	}
+}
+
+// BalanceDueCPUs returns, ascending, the CPUs whose periodic balance is
+// due exactly at now (empty when balancing is disabled).
+func (w *Wheel) BalanceDueCPUs(now int64) []int32 {
+	if w.balTab != nil {
+		return w.balTab.due(now)
+	}
+	return w.scanDue(now, w.balP, BalanceStaggerMS)
+}
+
+// IdlePullDueCPUs returns, ascending, the CPUs whose idle pull is due
+// exactly at now (idleness itself is re-checked by the caller at fire
+// time, as the lockstep loop does).
+func (w *Wheel) IdlePullDueCPUs(now int64) []int32 { return w.idleTab.due(now) }
+
+// HotDueCPUs returns, ascending, the CPUs whose hot check is due
+// exactly at now.
+func (w *Wheel) HotDueCPUs(now int64) []int32 {
+	if w.hotTab != nil {
+		return w.hotTab.due(now)
+	}
+	return w.scanDue(now, w.hotP, HotStaggerMS)
+}
+
+// GovDueCPUs returns, ascending, the CPUs whose governor evaluation is
+// due exactly at now.
+func (w *Wheel) GovDueCPUs(now int64) []int32 {
+	if w.govTab != nil {
+		return w.govTab.due(now)
+	}
+	return w.scanDue(now, w.govP, GovStaggerMS)
+}
+
+// nextAnyScan is the fallback machine-wide next-deadline for periods
+// beyond the residue-table bound: the min over all CPUs.
+func (w *Wheel) nextAnyScan(now, period, stagger int64) int64 {
+	if period <= 0 {
+		return NoDeadline
+	}
+	min := NoDeadline
+	for c := 0; c < w.nCPU; c++ {
+		if d := nextAt(now, period, int64(c)*stagger); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// scanDue is the fallback due-CPU list for periods beyond the
+// residue-table bound. It allocates a fresh slice: callers hold the due
+// lists of several classes simultaneously across the firing merge, so
+// a shared scratch buffer would alias them.
+func (w *Wheel) scanDue(now, period, stagger int64) []int32 {
+	if period <= 0 {
+		return nil
+	}
+	var due []int32
+	for c := 0; c < w.nCPU; c++ {
+		if (now+int64(c)*stagger)%period == 0 {
+			due = append(due, int32(c))
+		}
+	}
+	return due
+}

@@ -22,6 +22,21 @@ type Runqueue struct {
 	Current *Task
 
 	queue []*Task // runnable tasks not currently executing, FIFO
+
+	// notify is the attached deadline scheduler (see deadlines.go),
+	// told after every occupancy mutation so it can maintain the
+	// machine-wide queued/idle counters and this CPU's armed hot-check
+	// and governor deadlines. nil when no deadline scheduler is
+	// attached (bare scheduler tests, the lockstep reference engine).
+	notify *Wheel
+}
+
+// changed reports an occupancy mutation to the attached deadline
+// scheduler.
+func (rq *Runqueue) changed() {
+	if rq.notify != nil {
+		rq.notify.rqChanged(rq)
+	}
 }
 
 // NewRunqueue creates an empty runqueue for a CPU.
@@ -47,6 +62,7 @@ func (rq *Runqueue) Idle() bool { return rq.Len() == 0 }
 func (rq *Runqueue) Enqueue(t *Task) {
 	t.CPU = rq.CPU
 	rq.queue = append(rq.queue, t)
+	rq.changed()
 }
 
 // PickNext pops the head of the queue into Current. It panics if a task
@@ -61,6 +77,7 @@ func (rq *Runqueue) PickNext() *Task {
 	rq.Current = rq.queue[0]
 	copy(rq.queue, rq.queue[1:])
 	rq.queue = rq.queue[:len(rq.queue)-1]
+	rq.changed()
 	return rq.Current
 }
 
@@ -75,6 +92,7 @@ func (rq *Runqueue) Deschedule(requeue bool) *Task {
 	if requeue {
 		rq.queue = append(rq.queue, t)
 	}
+	rq.changed()
 	return t
 }
 
@@ -89,6 +107,7 @@ func (rq *Runqueue) RemoveQueued(t *Task) {
 	for i, q := range rq.queue {
 		if q == t {
 			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
+			rq.changed()
 			return
 		}
 	}

@@ -23,20 +23,48 @@ const (
 // NoDeadline is returned when a deadline class is disabled.
 const NoDeadline = int64(math.MaxInt64)
 
-// Wheel is the per-CPU deadline wheel for the scheduler's staggered
-// periodic work: periodic balancing, hot-task checks, and idle pulls.
-// Each class of work for CPU c is due at every time T with
+// Wheel is the deadline scheduler for the scheduler's staggered
+// periodic work: periodic balancing, hot-task checks, idle pulls, and
+// DVFS governor evaluations. Each class of work for CPU c is due at
+// every time T with
 //
 //	(T + stagger·c) mod period == 0,
 //
 // exactly the instants the 1 ms lockstep loop hits with its per-tick
-// modulo checks. The wheel answers two questions: "is CPU c due at T?"
-// (driving the shared engine step) and "when is the next deadline at or
-// after T?" (driving the batched engine's quantum planner).
+// modulo checks. Unattached, the wheel answers the per-CPU questions
+// "is CPU c due at T?" and "when is CPU c next due?" — the lockstep
+// engine's reference path. Attached to a scheduler
+// (Scheduler.AttachDeadlines, see deadlines.go), it additionally
+// answers the machine-wide questions the event-driven engines plan and
+// fire from in O(1): the next due instant of each class, and the exact
+// CPU set due at a given instant.
 type Wheel struct {
 	balP int64
 	hotP int64
 	govP int64
+
+	// Event-driven deadline-scheduler state (see deadlines.go); zero
+	// until AttachDeadlines.
+	attached bool
+	sched    *Scheduler
+	nCPU     int
+	nowMS    int64
+	// Static residue tables of the machine-wide classes (nil when the
+	// class is disabled or its period exceeds the table bound).
+	balTab, hotTab, idleTab, govTab *dueTable
+	// Per-CPU armed deadlines of the occupancy-gated classes, on
+	// lazy-deletion min-heaps; hotAt/govAt hold each CPU's armed
+	// instant (-1 disarmed) and identify stale heap entries.
+	hotQ, govQ   *EventQueue
+	hotAt, govAt []int64
+	hotEligible  []bool
+	// Machine-wide gate counters, maintained by rqChanged.
+	prevQueued []int32
+	isIdle     []bool
+	queued     int
+	idleCPUs   int
+	// Stats counts the deadline scheduler's event traffic.
+	Stats DeadlineStats
 }
 
 // NewWheel builds the wheel from the policy's periods (fractional
@@ -49,8 +77,24 @@ func NewWheel(cfg Config) *Wheel {
 // SetGovPeriod installs the DVFS governor evaluation period (0
 // disables governor deadlines). The machine calls it when frequency
 // scaling is configured; the scheduler policy itself has no DVFS
-// knobs.
-func (w *Wheel) SetGovPeriod(periodMS int64) { w.govP = periodMS }
+// knobs. On an attached wheel the governor class is re-derived: armed
+// deadlines of a disabled class are dropped (lazily), and occupied
+// CPUs are re-armed on the new period's grid.
+func (w *Wheel) SetGovPeriod(periodMS int64) {
+	w.govP = periodMS
+	if !w.attached {
+		return
+	}
+	w.govTab = newDueTable(w.govP, GovStaggerMS, w.nCPU)
+	for c := range w.govAt {
+		w.govAt[c] = -1 // stale: existing heap entries drop at peek time
+	}
+	if w.govP > 0 {
+		for c, rq := range w.sched.RQs {
+			w.refreshArming(c, rq)
+		}
+	}
+}
 
 // nextAt returns the smallest T ≥ now with (T + off) mod period == 0.
 func nextAt(now, period, off int64) int64 {

@@ -29,8 +29,8 @@ func TestStepExactComposesLikeUnitSteps(t *testing.T) {
 // sequence the lockstep engine performs for unit hotspots riding on a
 // core that is itself stepping toward its steady temperature.
 func TestStepOverBatchedMatchesIteration(t *testing.T) {
-	coreProps := Properties{R: 0.2, C: 75, AmbientC: 25}  // τ = 15 s
-	unitProps := Properties{R: 0.3, C: 2.0 / 0.3}         // τ = 2 s
+	coreProps := Properties{R: 0.2, C: 75, AmbientC: 25} // τ = 15 s
+	unitProps := Properties{R: 0.3, C: 2.0 / 0.3}        // τ = 2 s
 	for _, n := range []int64{1, 2, 5, 64, 500} {
 		core := NewNode(coreProps)
 		core.TempC = 30
