@@ -13,7 +13,7 @@
 // Usage:
 //
 //	esbench [-quick] [-time 1s] [-out FILE] [-engines lockstep,batched,async]
-//	        [-compare BASELINE.json] [-threshold 15]
+//	        [-compare BASELINE.json] [-threshold 15] [-trend DIR]
 //
 // -quick runs every benchmark for a single iteration (the CI smoke
 // mode); otherwise each benchmark repeats until -time has elapsed.
@@ -23,16 +23,25 @@
 // benchmark present in both regressed by more than -threshold percent —
 // the CI bench gate. Benchmarks only on one side are reported but never
 // gate.
+//
+// -trend loads every committed BENCH_*.json in DIR (sorted by date) and
+// prints, per benchmark, this run's ns/op delta against the trend tail
+// (the newest baseline) and against the oldest — the cumulative column
+// catches sub-threshold drift that never trips the per-PR -compare gate
+// but compounds across PRs. Informational only; it never fails the run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"time"
 
@@ -166,9 +175,11 @@ func loadBaseline(path string) (*Report, error) {
 
 // compare prints the per-benchmark ns/op deltas of cur against base and
 // returns the number of benchmarks that regressed by more than
-// thresholdPct. Matching is by (name, engine); one-sided entries are
-// noted but never gate.
-func compare(w *os.File, base, cur *Report, thresholdPct float64) (regressions int) {
+// thresholdPct. Matching is by (name, engine); benchmarks present in
+// only one of the two reports are printed as "new" / "gone" rows so a
+// renamed or dropped scenario is visible in the gate output, but they
+// never gate — there is nothing to compare them against.
+func compare(w io.Writer, base, cur *Report, thresholdPct float64) (regressions int) {
 	type key struct{ name, engine string }
 	baseBy := make(map[key]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
@@ -202,6 +213,81 @@ func compare(w *os.File, base, cur *Report, thresholdPct float64) (regressions i
 	return regressions
 }
 
+// loadTrend reads every BENCH_*.json under dir, sorted by filename —
+// the date-stamped naming scheme makes that chronological. The report
+// at skipPath (the file this run just wrote) is excluded so a default
+// -out into the same directory does not compare the run against
+// itself.
+func loadTrend(dir, skipPath string) ([]*Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	skip, _ := filepath.Abs(skipPath)
+	var series []*Report
+	for _, p := range paths {
+		if abs, _ := filepath.Abs(p); abs == skip {
+			continue
+		}
+		rep, err := loadBaseline(p)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, rep)
+	}
+	return series, nil
+}
+
+// trend prints, for every benchmark of cur, its ns/op against the
+// committed baseline series: the oldest and newest (tail) baselines
+// that recorded it, the delta vs the tail, and the cumulative delta vs
+// the oldest. Per-PR gates only see one hop; the cumulative column is
+// where a few-percent-per-PR drift becomes visible. Purely
+// informational — baselines come from different machines and days, so
+// no threshold is applied.
+func trend(w io.Writer, series []*Report, cur *Report) {
+	if len(series) == 0 {
+		fmt.Fprintln(w, "bench trend: no committed BENCH_*.json baselines found")
+		return
+	}
+	type key struct{ name, engine string }
+	type hist struct {
+		oldest, tail      Result
+		oldDate, tailDate string
+		n                 int
+	}
+	byKey := make(map[key]*hist)
+	for _, rep := range series {
+		for _, r := range rep.Benchmarks {
+			k := key{r.Name, r.Engine}
+			h, ok := byKey[k]
+			if !ok {
+				h = &hist{oldest: r, oldDate: rep.Date}
+				byKey[k] = h
+			}
+			h.tail, h.tailDate = r, rep.Date
+			h.n++
+		}
+	}
+	fmt.Fprintf(w, "bench trend: %d baseline(s), %s .. %s, current %s\n",
+		len(series), series[0].Date, series[len(series)-1].Date, cur.GitSHA)
+	fmt.Fprintf(w, "%-28s %-9s %3s %14s %14s %14s %9s %9s\n",
+		"benchmark", "engine", "n", "oldest ns/op", "tail ns/op", "cur ns/op", "vs tail", "vs oldest")
+	for _, r := range cur.Benchmarks {
+		h, ok := byKey[key{r.Name, r.Engine}]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %-9s %3d %14s %14s %14.0f %9s %9s\n",
+				r.Name, r.Engine, 0, "-", "-", r.NsPerOp, "new", "new")
+			continue
+		}
+		vsTail := (r.NsPerOp - h.tail.NsPerOp) / h.tail.NsPerOp * 100
+		vsOld := (r.NsPerOp - h.oldest.NsPerOp) / h.oldest.NsPerOp * 100
+		fmt.Fprintf(w, "%-28s %-9s %3d %14.0f %14.0f %14.0f %+8.1f%% %+8.1f%%\n",
+			r.Name, r.Engine, h.n, h.oldest.NsPerOp, h.tail.NsPerOp, r.NsPerOp, vsTail, vsOld)
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
 	minTime := flag.Duration("time", time.Second, "minimum measuring time per benchmark")
@@ -209,6 +295,7 @@ func main() {
 	enginesFlag := flag.String("engines", "lockstep,batched,async", "comma-separated engines to benchmark")
 	compareTo := flag.String("compare", "", "baseline BENCH_*.json to gate this run against")
 	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails the -compare gate")
+	trendDir := flag.String("trend", "", "directory of committed BENCH_*.json files to print drift against")
 	flag.Parse()
 
 	engines, err := parseEngines(*enginesFlag)
@@ -256,6 +343,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *trendDir != "" {
+		series, err := loadTrend(*trendDir, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esbench:", err)
+			os.Exit(2)
+		}
+		trend(os.Stdout, series, &rep)
+	}
 	if *compareTo != "" {
 		base, err := loadBaseline(*compareTo)
 		if err != nil {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(date, sha string, marks ...Result) *Report {
+	return &Report{Date: date, GitSHA: sha, Benchmarks: marks}
+}
+
+func mark(name, engine string, ns float64) Result {
+	return Result{Name: name, Engine: engine, NsPerOp: ns}
+}
+
+// TestCompareGatesAndOneSidedRows covers the gate arithmetic and the
+// new/gone reporting: a benchmark past the threshold counts as a
+// regression, one within it does not, and benchmarks present in only
+// one of the two reports appear as explicit rows instead of being
+// silently skipped — but never gate.
+func TestCompareGatesAndOneSidedRows(t *testing.T) {
+	base := report("2026-08-01", "aaa",
+		mark("saturated", "async", 100),
+		mark("mostly-idle", "async", 50),
+		mark("removed-scenario", "async", 70),
+	)
+	cur := report("2026-08-08", "bbb",
+		mark("saturated", "async", 130),  // +30%: regression
+		mark("mostly-idle", "async", 52), // +4%: fine
+		mark("added-scenario", "async", 9),
+	)
+	var b strings.Builder
+	if n := compare(&b, base, cur, 15); n != 1 {
+		t.Errorf("regressions = %d, want 1 (only the +30%% row gates)", n)
+	}
+	out := b.String()
+	for _, want := range []string{"REGRESSION", "new", "gone", "added-scenario", "removed-scenario"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("want exactly one REGRESSION row:\n%s", out)
+	}
+}
+
+// TestTrendReportsTailAndCumulativeDrift checks that trend resolves the
+// oldest and newest baseline per benchmark and reports both deltas —
+// the cumulative column is the whole point of the series (per-PR drift
+// below the gate threshold compounding over time).
+func TestTrendReportsTailAndCumulativeDrift(t *testing.T) {
+	series := []*Report{
+		report("2026-07-29", "aaa", mark("saturated", "async", 100)),
+		report("2026-07-30", "bbb", mark("saturated", "async", 110)),
+		report("2026-08-01", "ccc", mark("saturated", "async", 121)),
+	}
+	cur := report("2026-08-08", "ddd",
+		mark("saturated", "async", 133.1), // +10% vs tail, +33.1% vs oldest
+		mark("brand-new", "async", 5),
+	)
+	var b strings.Builder
+	trend(&b, series, cur)
+	out := b.String()
+	for _, want := range []string{"+10.0%", "+33.1%", "brand-new", "new", "3 baseline(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty strings.Builder
+	trend(&empty, nil, cur)
+	if !strings.Contains(empty.String(), "no committed") {
+		t.Errorf("empty series should say so, got:\n%s", empty.String())
+	}
+}
+
+// TestLoadTrendSortsAndSkipsOwnOutput writes a small baseline series
+// plus this run's own output file into a directory and checks the
+// series comes back chronological with the own file excluded.
+func TestLoadTrendSortsAndSkipsOwnOutput(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("BENCH_2026-07-30.json", report("2026-07-30", "bbb"))
+	write("BENCH_2026-07-29.json", report("2026-07-29", "aaa"))
+	own := write("BENCH_2026-08-08.json", report("2026-08-08", "ddd"))
+
+	series, err := loadTrend(dir, own)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Date != "2026-07-29" || series[1].Date != "2026-07-30" {
+		t.Fatalf("series wrong: %d entries, %+v", len(series), series)
+	}
+}

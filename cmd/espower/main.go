@@ -38,6 +38,10 @@
 //	             experiment can be reproduced on any core
 //	-governor G  DVFS governor highlighted by the dvfs experiment:
 //	             performance, ondemand (default), or thermal
+//	-j N         worker goroutines for independent experiment runs
+//	             (default GOMAXPROCS; 1 forces sequential). Results are
+//	             byte-identical for every N — each run is seeded from
+//	             its index and aggregated in order.
 package main
 
 import (
@@ -57,9 +61,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit raw CSV series")
 	engine := experiments.EngineFlag(nil)
 	governor := experiments.GovernorFlag(nil)
+	jobs := experiments.JobsFlag(nil)
 	flag.Usage = usage
 	flag.Parse()
 	experiments.Engine = *engine
+	experiments.Jobs = *jobs
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -74,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] [-governor G] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] [-governor G] [-j N] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units dvfs sweeps all")
 }
 

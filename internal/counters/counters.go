@@ -61,6 +61,15 @@ func (c Counts) Add(d Counts) Counts {
 	return c
 }
 
+// Accum adds d into c in place — the copy-free variant of Add for the
+// engine's per-quantum accounting, where the value-receiver Add would
+// copy the vector twice per busy CPU per quantum.
+func (c *Counts) Accum(d *Counts) {
+	for i := range c {
+		c[i] += d[i]
+	}
+}
+
 // Sub returns the element-wise difference c - d. It panics if any
 // component of d exceeds the corresponding component of c, because a
 // counter delta with a negative component indicates a bookkeeping bug
@@ -150,7 +159,13 @@ type Bank struct {
 
 // Accumulate adds the given event counts to the bank.
 func (b *Bank) Accumulate(c Counts) {
-	b.counts = b.counts.Add(c)
+	b.counts.Accum(&c)
+}
+
+// AccumulateFrom adds *c to the bank without copying the vector — the
+// hot-path variant of Accumulate.
+func (b *Bank) AccumulateFrom(c *Counts) {
+	b.counts.Accum(c)
 }
 
 // Read returns the current accumulated counts without modifying them.

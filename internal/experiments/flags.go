@@ -81,3 +81,15 @@ func GovernorFlag(fs *flag.FlagSet) *string {
 		"DVFS governor for frequency-scaling runs: "+strings.Join(dvfs.GovernorNames(), ", "))
 	return g
 }
+
+// JobsFlag registers the standard -j flag on fs (nil selects
+// flag.CommandLine) and returns the destination; 0 (the default) means
+// GOMAXPROCS. The caller assigns the parsed value to Jobs after
+// flag.Parse.
+func JobsFlag(fs *flag.FlagSet) *int {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Int("j", 0,
+		"worker goroutines for independent experiment runs (0 = GOMAXPROCS, 1 = sequential)")
+}

@@ -5,13 +5,25 @@ import (
 	"sync"
 )
 
+// Jobs bounds the worker pool forEach uses for independent experiment
+// runs: 0 (the default) means GOMAXPROCS, 1 forces sequential
+// execution, anything larger caps the pool at that many goroutines.
+// Tools expose it as the -j flag (JobsFlag); the library API as
+// SetParallelism.
+var Jobs int
+
 // forEach runs fn(i) for i in [0, n) on a bounded worker pool. Every
 // experiment invocation owns an independent simulated machine seeded
-// deterministically, so parallel execution cannot change any result —
-// it only uses the host's cores to regenerate sweeps (Figs. 8 and 10,
-// the §6.1 migration grid) faster.
+// deterministically from its index, and writes its result into its own
+// slot of a pre-sized slice — so parallel execution cannot change any
+// result or its order, it only uses the host's cores to regenerate
+// sweeps (Figs. 8 and 10, the §6.1 migration grid) faster. Output is
+// byte-identical for every worker count.
 func forEach(n int, fn func(i int)) {
-	workers := runtime.NumCPU()
+	workers := Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

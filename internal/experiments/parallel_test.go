@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices checks the pool visits every index
+// exactly once for worker counts below, at, and above n.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 64} {
+		Jobs = jobs
+		var hits [33]int32
+		forEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("jobs=%d: index %d run %d times", jobs, i, h)
+			}
+		}
+	}
+	Jobs = 0
+}
+
+// TestParallelSweepByteStable asserts the -j acceptance contract: a
+// sweep's formatted report is byte-identical whether its runs execute
+// sequentially or on a saturated worker pool. Each run derives its
+// machine seed from the sweep index and writes into its own result
+// slot, so only scheduling order differs — never data.
+func TestParallelSweepByteStable(t *testing.T) {
+	defer func() { Jobs = 0 }()
+
+	Jobs = 1
+	seq := FormatDestGap(SweepDestGap(7, 60_000))
+	Jobs = 8
+	par := FormatDestGap(SweepDestGap(7, 60_000))
+	if seq != par {
+		t.Errorf("SweepDestGap output differs between -j 1 and -j 8:\n-- sequential --\n%s\n-- parallel --\n%s", seq, par)
+	}
+
+	cfg := DefaultFigure8Config()
+	cfg.WarmupMS, cfg.MeasureMS = 15_000, 45_000
+	Jobs = 1
+	seq = FormatFigure8(Figure8(cfg))
+	Jobs = 8
+	par = FormatFigure8(Figure8(cfg))
+	if seq != par {
+		t.Errorf("Figure8 output differs between -j 1 and -j 8:\n-- sequential --\n%s\n-- parallel --\n%s", seq, par)
+	}
+}

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"math/bits"
+
 	"energysched/internal/sched"
 	"energysched/internal/topology"
 )
@@ -112,7 +114,65 @@ func (m *Machine) initAsync() {
 	m.phase6CPU = -1
 	m.stepList = make([]int32, 0, nCPU)
 	m.stepCores = make([]int32, 0, len(m.nodes))
+	m.pendingActs = make([]topology.CPUID, 0, nCPU)
+	// Membership bitmaps behind the two active lists, all-set to start
+	// (nothing is parked yet). The trailing bits of the last word stay
+	// zero so the materialization loops need no bounds check.
+	m.liveCPUBits = make([]uint64, (nCPU+63)/64)
+	for c := 0; c < nCPU; c++ {
+		m.liveCPUBits[c>>6] |= 1 << (uint(c) & 63)
+	}
+	m.liveCoreBits = make([]uint64, (len(m.nodes)+63)/64)
+	for c := range m.nodes {
+		m.liveCoreBits[c>>6] |= 1 << (uint(c) & 63)
+	}
+	// Settle-on-read: a balance, hot-check, or placement pass that
+	// reads a parked CPU's thermal power settles just that CPU, at the
+	// phase-correct target, instead of a machine-wide settle of every
+	// parked one. The closed idle form is interval-additive, so the
+	// split between this settle and the eventual unpark/monitor settle
+	// lands on exactly the values a full settle would have produced.
+	m.Sched.Hooks.ThermalRead = func(cpu topology.CPUID) {
+		if c := int(cpu); m.parked[c] && m.metricDormant(c) {
+			m.settleCPUMetricTo(c, m.metricSettleTo(c))
+		}
+	}
 	m.stepListDirty = true
+	m.stepCoresDirty = true
+	m.parkDirty = true
+}
+
+// setLiveCPU adds a CPU to the active-CPU set; O(1), dirties the
+// materialized list only when membership actually changes.
+func (m *Machine) setLiveCPU(c int) {
+	w, b := c>>6, uint64(1)<<(uint(c)&63)
+	if m.liveCPUBits[w]&b == 0 {
+		m.liveCPUBits[w] |= b
+		m.stepListDirty = true
+	}
+}
+
+// clearLiveCPU removes a CPU from the active-CPU set.
+func (m *Machine) clearLiveCPU(c int) {
+	w, b := c>>6, uint64(1)<<(uint(c)&63)
+	if m.liveCPUBits[w]&b != 0 {
+		m.liveCPUBits[w] &^= b
+		m.stepListDirty = true
+	}
+}
+
+// setPkgCores adds or removes a package's cores from the active-core
+// set.
+func (m *Machine) setPkgCores(p int, on bool) {
+	cores := m.Cfg.Layout.Cores()
+	for core := p * cores; core < (p+1)*cores; core++ {
+		w, b := core>>6, uint64(1)<<(uint(core)&63)
+		if on {
+			m.liveCoreBits[w] |= b
+		} else {
+			m.liveCoreBits[w] &^= b
+		}
+	}
 	m.stepCoresDirty = true
 }
 
@@ -123,19 +183,15 @@ func (m *Machine) cpuParked(c int) bool { return m.async && m.parked[c] }
 // stepCPUs returns the CPUs the per-step phases must visit, ascending:
 // every CPU on the lockstep and batched engines; on the async engine
 // the un-parked CPUs plus the parked members of live (non-dormant)
-// throttle groups, whose metrics update per step. Rebuilt lazily after
-// parking-state changes.
+// throttle groups, whose metrics update per step. Materialized lazily
+// from the membership bitmap in O(set bits + nCPU/64), so park/unpark
+// churn on a mostly-idle machine costs O(busy), not O(nCPU).
 func (m *Machine) stepCPUs() []int32 {
 	if !m.async {
 		return m.allCPUs
 	}
 	if m.stepListDirty {
-		m.stepList = m.stepList[:0]
-		for c := range m.parked {
-			if !m.parked[c] || !m.metricDormant(c) {
-				m.stepList = append(m.stepList, int32(c))
-			}
-		}
+		m.stepList = materialize(m.stepList[:0], m.liveCPUBits)
 		m.stepListDirty = false
 	}
 	return m.stepList
@@ -149,16 +205,23 @@ func (m *Machine) stepCoreList() []int32 {
 		return m.allCores
 	}
 	if m.stepCoresDirty {
-		cores := m.Cfg.Layout.Cores()
-		m.stepCores = m.stepCores[:0]
-		for core := range m.nodes {
-			if !m.pkgParked[core/cores] {
-				m.stepCores = append(m.stepCores, int32(core))
-			}
-		}
+		m.stepCores = materialize(m.stepCores[:0], m.liveCoreBits)
 		m.stepCoresDirty = false
 	}
 	return m.stepCores
+}
+
+// materialize appends the set bit indices of a membership bitmap to dst,
+// ascending.
+func materialize(dst []int32, words []uint64) []int32 {
+	for w, word := range words {
+		base := int32(w << 6)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
 }
 
 // metricDormant reports whether a parked CPU's power metric is
@@ -205,12 +268,29 @@ func (m *Machine) metricSettleTo(d int) int64 {
 	return m.qStartMS
 }
 
+// thermWeightFor returns the thermal sample weight for a period,
+// through the machine-wide cache when every tracker shares one
+// calibration and through cpu's own tracker otherwise. Both paths
+// produce the value WeightFor computes for the period — the shared
+// cache only skips repeating the math.Pow per CPU.
+func (m *Machine) thermWeightFor(cpu int, periodMS float64) float64 {
+	if !m.thermWShared {
+		return m.Sched.Power[cpu].ThermalWeightFor(periodMS)
+	}
+	if periodMS != m.lastSettleGap {
+		m.lastSettleGap = periodMS
+		m.lastSettleW = m.Sched.Power[cpu].ThermalWeightFor(periodMS)
+	}
+	return m.lastSettleW
+}
+
 // settleCPUMetricTo folds the idle gap [cpuSettledMS, to) into CPU d's
 // power metric and idle-tick counter.
 func (m *Machine) settleCPUMetricTo(d int, to int64) {
 	if gap := to - m.cpuSettledMS[d]; gap > 0 {
 		fg := float64(gap)
-		m.Sched.Power[d].AddEnergy(m.estIdleJ*fg, fg)
+		m.Sched.Power[d].AddEnergyWeighted(m.estIdleJ*fg, fg, m.thermWeightFor(d, fg))
+		m.Sched.InvalidateThermal(topology.CPUID(d))
 		m.TrueEnergyJ += m.idleShareW * fg / 1000
 		m.idleTicks[d] += gap
 		m.cpuSettledMS[d] = to
@@ -222,6 +302,9 @@ func (m *Machine) settleCPUMetricTo(d int, to int64) {
 // cross-CPU thermal power (balance, idle pull, hot check, placement,
 // monitor sampling).
 func (m *Machine) settleDormantMetrics() {
+	if m.nParked == 0 {
+		return // nothing parked, nothing deferred
+	}
 	for c := range m.parked {
 		if m.parked[c] && m.metricDormant(c) {
 			m.settleCPUMetricTo(c, m.metricSettleTo(c))
@@ -297,7 +380,9 @@ func (m *Machine) wakeThrottleGroup(g int) {
 		m.throttles[g].Account(gap)
 	}
 	m.thrDormant[g] = false
-	m.stepListDirty = true // parked members rejoin the per-step path
+	for _, mc := range m.throttleMembers[g] {
+		m.setLiveCPU(int(mc)) // parked members rejoin the per-step path
+	}
 }
 
 // activateCPU un-parks a CPU because work is about to be enqueued on it
@@ -309,6 +394,15 @@ func (m *Machine) activateCPU(cpu topology.CPUID) {
 	if !m.parked[c] {
 		return
 	}
+	if m.phase6CPU >= 0 {
+		// Mid-execution-sweep activation (a spawn placed by a finishing
+		// task's respawn hook). The sweep iterates a frozen snapshot of
+		// the active list, so the un-park is deferred until the sweep
+		// ends; the drain settles the full quantum through the same
+		// closed forms the idle branch would have applied.
+		m.pendingActs = append(m.pendingActs, cpu)
+		return
+	}
 	if g := m.throttleOf[c]; g >= 0 {
 		m.wakeThrottleGroup(g)
 	} else {
@@ -317,7 +411,7 @@ func (m *Machine) activateCPU(cpu topology.CPUID) {
 	m.unparkPackage(m.Cfg.Layout.Package(cpu))
 	m.parked[c] = false
 	m.nParked--
-	m.stepListDirty = true
+	m.setLiveCPU(c)
 }
 
 // unparkPackage returns a package to per-quantum thermal stepping.
@@ -331,7 +425,7 @@ func (m *Machine) unparkPackage(p int) {
 	}
 	m.settlePackageThermal(p, to)
 	m.pkgParked[p] = false
-	m.stepCoresDirty = true
+	m.setPkgCores(p, true)
 }
 
 // parkIdleCPUs runs at the end of every async step: CPUs that ended the
@@ -343,27 +437,40 @@ func (m *Machine) unparkPackage(p int) {
 func (m *Machine) parkIdleCPUs() {
 	now := m.nowMS
 	newParked := false
-	for _, c32 := range m.stepCPUs() {
-		c := int(c32)
-		rq := m.Sched.RQs[c]
-		if m.parked[c] || rq.Current != nil || len(rq.Queued()) > 0 {
-			continue
-		}
-		if m.dvfsOn && m.pendingIdx[c] >= 0 {
-			// A P-state transition is in flight (the task blocked or
-			// finished between decision and effect); stay in the
-			// per-step path until it applies, so the transition — and
-			// its trace event — lands at exactly the lockstep instant.
-			continue
-		}
-		m.parked[c] = true
-		m.nParked++
-		newParked = true
-		m.stepListDirty = true
-		m.truePower[c] = m.idleShareW
-		m.execSpeed[c] = 0
-		if m.throttleOf[c] < 0 {
-			m.cpuSettledMS[c] = now
+	// The candidate scan runs only when a queue could have emptied since
+	// the last sweep (parkDirty): a CPU becomes parkable only when its
+	// last task blocks, finishes, ends a timeslice with an empty queue,
+	// migrates away, or a held-back P-state transition applies — every
+	// such site sets the flag. On a saturated machine no queue ever
+	// empties and the sweep is a flag test.
+	if m.parkDirty {
+		m.parkDirty = false
+		for _, c32 := range m.stepCPUs() {
+			c := int(c32)
+			rq := m.Sched.RQs[c]
+			if m.parked[c] || rq.Current != nil || len(rq.Queued()) > 0 {
+				continue
+			}
+			if m.dvfsOn && m.pendingIdx[c] >= 0 {
+				// A P-state transition is in flight (the task blocked or
+				// finished between decision and effect); stay in the
+				// per-step path until it applies, so the transition — and
+				// its trace event — lands at exactly the lockstep instant.
+				continue
+			}
+			m.parked[c] = true
+			m.nParked++
+			newParked = true
+			m.truePower[c] = m.idleShareW
+			m.execSpeed[c] = 0
+			if m.throttleOf[c] < 0 {
+				// No throttle group: the metric defers immediately and the
+				// CPU leaves the active list. Members of a live group stay
+				// on it (their metrics still step) until the whole group
+				// goes dormant below.
+				m.cpuSettledMS[c] = now
+				m.clearLiveCPU(c)
+			}
 		}
 	}
 	if !newParked && m.nParked == 0 {
@@ -403,9 +510,9 @@ func (m *Machine) parkIdleCPUs() {
 		}
 		m.thrDormant[g] = true
 		m.thrSettledMS[g] = now
-		m.stepListDirty = true // members' metrics leave the per-step path
 		for _, mc := range members {
 			m.cpuSettledMS[int(mc)] = now
+			m.clearLiveCPU(int(mc)) // metrics leave the per-step path
 		}
 	}
 	// Package thermal parking: every logical CPU parked, and — under
@@ -454,77 +561,25 @@ pkgs:
 		}
 		m.pkgParked[p] = true
 		m.pkgSettledMS[p] = now
-		m.stepCoresDirty = true
+		m.setPkgCores(p, false)
 	}
 }
 
-// syncBeforeDeadlines runs just before the periodic-deadline phase of
-// an async step. Balance, idle-pull, and hot-check passes read
-// thermal-power metrics across the whole machine, so if any such pass
-// will actually evaluate this tick, every deferred metric must be
-// settled first. It also records the queued-task count the deadline
-// loop uses to skip parked CPUs (with zero waiting tasks a parked
-// CPU's balance pass is a provable no-op).
-func (m *Machine) syncBeforeDeadlines(endMS int64) {
+// syncBeforeDeadlines records, just before the periodic-deadline phase
+// of an async step, the queued-task count the deadline loop uses to
+// skip parked CPUs (with zero waiting tasks a parked CPU's balance
+// pass is a provable no-op). Deferred metrics are NOT settled here:
+// the ThermalRead hook settles each parked CPU lazily, the first time
+// a balance, hot-check, or placement pass actually reads it.
+func (m *Machine) syncBeforeDeadlines() {
 	if m.nParked == 0 {
-		// Nothing parked, nothing deferred: the deadline phase runs
-		// exactly as in the batched engine. The queued count is only
-		// consulted for parked CPUs, so skip even the counter read.
+		// Nothing parked: the deadline phase runs exactly as in the
+		// batched engine. The queued count is only consulted for
+		// parked CPUs, so skip even the counter read.
 		m.asyncQueued = 1
 		return
 	}
 	m.asyncQueued = m.wheel.QueuedCount()
-	observe := false
-	if m.asyncQueued > 0 {
-		if len(m.wheel.BalanceDueCPUs(endMS)) > 0 {
-			observe = true
-		} else {
-			for _, c := range m.wheel.IdlePullDueCPUs(endMS) {
-				if m.Sched.RQ(topology.CPUID(c)).Idle() {
-					observe = true
-					break
-				}
-			}
-		}
-	}
-	if !observe && m.hotArmed {
-		for _, c32 := range m.wheel.HotDueCPUs(endMS) {
-			c := int(c32)
-			if m.parked[c] {
-				continue
-			}
-			rq := m.Sched.RQ(topology.CPUID(c))
-			if rq.Current == nil || rq.Len() != 1 || m.Sched.Power[c].MaxPower <= 0 {
-				continue
-			}
-			// A hot check reads remote metrics only after its §4.5
-			// trigger arms, and the trigger reads nothing but the
-			// checking CPU's own core. Settle just that core and
-			// evaluate: a cold trigger (the common case on big idle
-			// machines) keeps every other parked CPU dormant.
-			m.settleCoreMetrics(c)
-			if m.Sched.HotTrigger(topology.CPUID(c)) {
-				observe = true
-				break
-			}
-		}
-	}
-	if observe {
-		m.settleDormantMetrics()
-	}
-}
-
-// settleCoreMetrics brings the deferred metrics of one CPU's core —
-// the checking CPU plus its SMT siblings — forward, so the §4.5 hot
-// trigger can be evaluated without observing the rest of the machine.
-func (m *Machine) settleCoreMetrics(c int) {
-	l := m.Cfg.Layout
-	core := l.Core(topology.CPUID(c))
-	for t := 0; t < l.ThreadsPerPackage; t++ {
-		if s := int(l.CPUOfCore(core, t)); m.parked[s] && m.metricDormant(s) {
-			m.settleCPUMetricTo(s, m.metricSettleTo(s))
-		}
-	}
 }
 
 // settleAll materializes every deferred piece of state at the current

@@ -102,6 +102,15 @@ func (m *Machine) planQuantum(limit int64) int64 {
 		return 1
 	}
 
+	// Periodic deadlines next — each a single O(1) query, and on a
+	// saturated machine some CPU's staggered balance pass is due every
+	// tick, pinning dt to 1 before the per-CPU horizon scan below even
+	// starts (the scan can only lower dt, and 1 is the floor).
+	dt = m.clampDeadlines(dt, now)
+	if dt <= 1 {
+		return 1
+	}
+
 	// Running-task horizons: timeslice expiry, warmup end, and the
 	// workload's rate/stop crossings. Parked and idle CPUs contribute
 	// nothing (no Current task).
@@ -131,15 +140,36 @@ func (m *Machine) planQuantum(limit int64) int64 {
 		}
 	}
 
-	// Periodic deadlines, a single O(1) query per class on the
-	// deadline scheduler instead of the former per-CPU modulo sweep.
-	// With zero waiting tasks machine-wide, every balancing pass —
-	// periodic and idle pull alike — is provably a no-op and both
-	// classes are skipped entirely: the big win for idle-heavy
-	// workloads. Hot-check deadlines are armed only for single-task
-	// CPUs with a power budget, governor deadlines only for occupied
-	// CPUs; all other CPUs' instants are no-ops and never reach the
-	// planner.
+	if dt > 1 && m.throttles != nil {
+		dt = m.clampThrottleCrossings(dt)
+	}
+	if dt > 1 && m.unitThrottles != nil {
+		dt = m.clampUnitCrossings(dt)
+	}
+	if dt < 1 {
+		dt = 1
+	}
+	return dt
+}
+
+// clampDeadlines bounds a quantum by the periodic deadline classes, a
+// single O(1) query per class on the deadline scheduler instead of the
+// former per-CPU modulo sweep. With zero waiting tasks machine-wide,
+// every balancing pass — periodic and idle pull alike — is provably a
+// no-op and both classes are skipped entirely: the big win for
+// idle-heavy workloads. Hot-check deadlines are armed only for
+// single-task CPUs with a power budget, governor deadlines only for
+// occupied CPUs; all other CPUs' instants are no-ops and never reach
+// the planner.
+func (m *Machine) clampDeadlines(dt, now int64) int64 {
+	clamp := func(v int64) {
+		if v < dt {
+			if v < 1 {
+				v = 1
+			}
+			dt = v
+		}
+	}
 	if m.wheel.QueuedCount() > 0 {
 		if d := m.wheel.NextBalanceDeadline(now); d != sched.NoDeadline {
 			clamp(d - now + 1)
@@ -157,16 +187,6 @@ func (m *Machine) planQuantum(limit int64) int64 {
 		if d := m.wheel.NextGovDeadline(now); d != sched.NoDeadline {
 			clamp(d - now + 1)
 		}
-	}
-
-	if dt > 1 && m.throttles != nil {
-		dt = m.clampThrottleCrossings(dt)
-	}
-	if dt > 1 && m.unitThrottles != nil {
-		dt = m.clampUnitCrossings(dt)
-	}
-	if dt < 1 {
-		dt = 1
 	}
 	return dt
 }

@@ -132,6 +132,7 @@ func Large() []Scenario {
 	}{
 		{"64cpu", topology.Server64()},
 		{"256cpu", topology.Server256()},
+		{"1024cpu", topology.Server1024()},
 	} {
 		mostlyIdle := func(cat *workload.Catalog, m *machine.Machine) {
 			m.SpawnN(cat.Sshd(), 3)
@@ -142,7 +143,7 @@ func Large() []Scenario {
 		saturated := func(cat *workload.Catalog, m *machine.Machine) {
 			saturate(cat, m, per)
 		}
-		skip := lay.name == "256cpu"
+		skip := lay.name != "64cpu"
 		out = append(out,
 			Scenario{
 				Name: "large/" + lay.name + "/mostly-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
@@ -162,14 +163,34 @@ func Large() []Scenario {
 	// scheduler and the lifted MaxQuantumMS cap target: fully-idle
 	// spans cost O(1) per quantum instead of an O(nCPU) deadline sweep
 	// per plan.
-	out = append(out, Scenario{
-		Name: "large/256cpu/wide-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
-		SkipLockstep: true,
-		New: builder(topology.Server256(), 120, false, func(cat *workload.Catalog, m *machine.Machine) {
-			m.SpawnN(cat.Sshd(), 6)
-			m.SpawnN(cat.Httpd(), 6)
-		}),
-	})
+	wideIdle := func(cat *workload.Catalog, m *machine.Machine) {
+		m.SpawnN(cat.Sshd(), 6)
+		m.SpawnN(cat.Httpd(), 6)
+	}
+	out = append(out,
+		Scenario{
+			Name: "large/256cpu/wide-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
+			SkipLockstep: true,
+			New:          builder(topology.Server256(), 120, false, wideIdle),
+		},
+		// The same dozen interactive tasks on 1024 logical CPUs: with
+		// O(busy) phase iteration the step cost should track the task
+		// count, not the machine width, so this should stay within ~2×
+		// of the 256-CPU run (the residual being the O(nCPU) phases the
+		// active lists cannot remove: monitor materialization and the
+		// park sweep's package scan). The 360 W budget keeps the
+		// per-core budget (pkg / cores / coupling) level with the
+		// 256-CPU run's 44 W: at 120 W the quad-core packages' tighter
+		// cores sit at their budget under a single busy task, arming
+		// hot-task scans the narrower layout never sees — the pair
+		// would then compare hot-migration storms against wake-bounded
+		// quanta instead of engine scaling.
+		Scenario{
+			Name: "large/1024cpu/wide-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
+			SkipLockstep: true,
+			New:          builder(topology.Server1024(), 360, false, wideIdle),
+		},
+	)
 	return out
 }
 

@@ -88,8 +88,8 @@ func (m *Machine) fireDueDeadlines(endMS int64) {
 				// task, so a parked CPU's balance pass later this tick
 				// is no longer a provable no-op: refresh the queued
 				// count the skip condition consults. (Deferred metrics
-				// were already settled: a due hot check makes
-				// syncBeforeDeadlines observe.)
+				// settle lazily through the ThermalRead hook as the
+				// pass reads them.)
 				m.asyncQueued = m.wheel.QueuedCount()
 			}
 		}

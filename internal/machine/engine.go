@@ -82,9 +82,11 @@ func (m *Machine) step(limitMS int64) int64 {
 	// start-of-tick event: the new frequency and voltage hold for the
 	// whole quantum (the planner never lets a due transition fall
 	// inside one). CPUs with a pending transition are never parked, so
-	// the async engine reaches this point for them every step.
+	// they are always on the active list and the async engine reaches
+	// this point for them every step.
 	if m.nPending > 0 {
-		for c := 0; c < nCPU; c++ {
+		for _, c32 := range m.stepCPUs() {
+			c := int(c32)
 			if m.pendingIdx[c] < 0 || m.pendingAt[c] > m.nowMS {
 				continue
 			}
@@ -95,6 +97,8 @@ func (m *Machine) step(limitMS int64) int64 {
 			m.powScale[c] = m.dvfsCfg.Ladder.EnergyScale(idx)
 			m.pendingIdx[c] = -1
 			m.nPending--
+			// The transition was holding this CPU back from parking.
+			m.parkDirty = true
 			m.PStateSwitches++
 			m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.PState, TaskID: -1,
 				CPU: c, From: old, Detail: m.psLabels[idx]})
@@ -204,9 +208,9 @@ func (m *Machine) step(limitMS int64) int64 {
 			if m.execSpeed[c] == 0 {
 				continue
 			}
-			core := layout.Core(topology.CPUID(c))
+			base := int(m.coreOfCPU[c]) * threads
 			for t := 0; t < threads; t++ {
-				if sib := int(layout.CPUOfCore(core, t)); sib != c && m.execSpeed[sib] > 0 {
+				if sib := int(m.coreCPUs[base+t]); sib != c && m.execSpeed[sib] > 0 {
 					m.execSpeed[c] = m.Cfg.SMTSlowdown
 					break
 				}
@@ -306,23 +310,36 @@ func (m *Machine) step(limitMS int64) int64 {
 	// quantum's average power in one variable-period update, which the
 	// exponential average composes identically to dt per-millisecond
 	// updates.
-	for c := 0; c < nCPU; c++ {
+	//
+	// The sweep walks the active list — the same CPUs the old full scan
+	// visited (parked-dormant CPUs settle lazily when observed; parked
+	// members of live throttle groups take the idle branch because the
+	// group reads their metric every step). The list is a stable
+	// snapshot: mid-sweep activations (spawn placements from finishing
+	// tasks' respawns) are deferred until after the sweep (activateCPU),
+	// so they always land behind the cursor and the deferred CPU's
+	// quantum folds through the identical closed-form settle.
+	tickRes := &m.tickScratch
+	// Every CPU folds this quantum's average power over the same fdt, so
+	// the variable-period sample weight is computed once for the sweep
+	// (per tracker when calibrations differ across packages).
+	quantW := m.thermWeightFor(0, fdt)
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
 		if m.async {
 			m.phase6CPU = c
-			if m.parked[c] && m.metricDormant(c) {
-				continue // settles lazily when observed
-			}
-			// Parked CPUs of a live throttle group fall through to the
-			// idle branch: the group reads their metric every step.
 		}
 		cpu := topology.CPUID(c)
 		speed := m.execSpeed[c]
+		if !m.thermWShared {
+			quantW = m.Sched.Power[c].ThermalWeightFor(fdt)
+		}
 		if speed == 0 {
 			// Idle or halted: sleep power only (hlt power does not
 			// depend on the P-state).
 			m.truePower[c] = m.idleShareW
 			m.TrueEnergyJ += m.idleShareW * fdt / 1000
-			m.Sched.Power[c].AddEnergy(m.estIdleJ*fdt, fdt)
+			m.Sched.Power[c].AddEnergyWeighted(m.estIdleJ*fdt, fdt, quantW)
 			if m.Sched.RQ(cpu).Current == nil {
 				m.idleTicks[c] += dt
 			} else if m.govPeriod > 0 {
@@ -338,13 +355,13 @@ func (m *Machine) step(limitMS int64) int64 {
 		if task.st.WarmupLeft > 0 {
 			task.st.WarmupLeft -= fdt
 		}
-		res := task.work.Tick(speed, fdt)
+		task.work.TickInto(tickRes, speed, fdt)
 		m.WorkDoneMS += speed * fdt
 		if m.govPeriod > 0 {
 			m.Sched.Util[c].AddBusy(fdt)
 		}
-		m.banks[c].Accumulate(res.Counts)
-		d.counts = d.counts.Add(res.Counts)
+		m.banks[c].AccumulateFrom(&tickRes.Counts)
+		d.counts.Accum(&tickRes.Counts)
 		d.ranMS += fdt
 
 		// The P-state's energy factor: event counts already shrank by
@@ -357,18 +374,18 @@ func (m *Machine) step(limitMS int64) int64 {
 		}
 		task.st.SliceLeft -= fdt
 
-		trueJ := m.Model.EnergyJExact(res.Exact, 0) * ps
+		trueJ := m.Model.EnergyJExact(tickRes.Exact, 0) * ps
 		m.truePower[c] = trueJ * 1000 / fdt
 		m.TrueEnergyJ += trueJ
 		if m.unitPower != nil {
-			ue := units.SplitExact(m.Model.Weights, res.Exact)
-			core := layout.Core(cpu)
+			ue := units.SplitExact(m.Model.Weights, tickRes.Exact)
+			core := int(m.coreOfCPU[c])
 			for u := range ue {
 				m.unitPower[core][u] += ue[u] * ps * 1000 / fdt
 			}
 		}
-		estJ := m.Est.EnergyJExact(res.Exact, 0) * ps
-		m.Sched.Power[c].AddEnergy(estJ, fdt)
+		estJ := m.Est.EnergyJExact(tickRes.Exact, 0) * ps
+		m.Sched.Power[c].AddEnergyWeighted(estJ, fdt, quantW)
 		if m.dvfsOn {
 			// The kernel knows its own P-state residency, so per-
 			// dispatch profile energy accumulates frequency-scaled
@@ -379,18 +396,18 @@ func (m *Machine) step(limitMS int64) int64 {
 				d.scaled = true
 			}
 			if task.st.Units != nil {
-				ue := units.SplitExact(m.Est.Weights, res.Exact)
+				ue := units.SplitExact(m.Est.Weights, tickRes.Exact)
 				for u := range ue {
 					d.estUnitsJ[u] += ue[u] * ps
 				}
 			}
 		}
 
-		switch res.Status {
+		switch tickRes.Status {
 		case workload.Finished:
 			m.finishTask(cpu, task, endMS)
 		case workload.Blocked:
-			m.blockTask(cpu, task, res.BlockMS, endMS)
+			m.blockTask(cpu, task, tickRes.BlockMS, endMS)
 		default:
 			if task.st.SliceLeft <= 0 {
 				m.endTimeslice(cpu, endMS)
@@ -409,13 +426,23 @@ func (m *Machine) step(limitMS int64) int64 {
 	if m.async {
 		m.metricsDone = true
 		m.phase6CPU = -1
+		// Drain the activations the execution sweep deferred: with
+		// metricsDone set, each CPU's idle quantum folds through the
+		// same closed-form settle the sweep's idle branch would have
+		// applied, and its package (settled to the quantum start)
+		// rejoins the core list below in time for the thermal phase.
+		for _, cpu := range m.pendingActs {
+			m.activateCPU(cpu)
+		}
+		m.pendingActs = m.pendingActs[:0]
 	}
 	liveCores := m.stepCoreList()
 	for _, core32 := range liveCores {
 		core := int(core32)
 		sum := 0.0
+		base := core * threads
 		for t := 0; t < threads; t++ {
-			sum += m.truePower[int(layout.CPUOfCore(core, t))]
+			sum += m.truePower[int(m.coreCPUs[base+t])]
 		}
 		m.corePower[core] = sum
 		m.coreStartTemp[core] = m.nodes[core].TempC
@@ -468,8 +495,9 @@ func (m *Machine) step(limitMS int64) int64 {
 	// the due lists are asserted byte-identical against.
 	if m.async {
 		m.thermalDone = true
-		m.syncBeforeDeadlines(endMS)
+		m.syncBeforeDeadlines()
 	}
+	m.Sched.BeginDeadlineEpoch()
 	if m.eventDriven {
 		m.fireDueDeadlines(endMS)
 	} else {
@@ -491,6 +519,7 @@ func (m *Machine) step(limitMS int64) int64 {
 			}
 		}
 	}
+	m.Sched.EndDeadlineEpoch()
 
 	// 8b. DVFS governor evaluations, staggered per CPU on the deadline
 	// scheduler like the balancer passes. Only occupied CPUs are
@@ -579,8 +608,22 @@ func (m *Machine) throttledCPUs() []bool {
 		// per-step clear is skipped.
 		return out
 	}
-	for i := range out {
-		out[i] = false
+	if m.unitThrottles != nil {
+		// Unit throttles write every thread of an engaged core, which
+		// may include parked-dormant CPUs of a live package — clear the
+		// whole scratch.
+		for i := range out {
+			out[i] = false
+		}
+	} else {
+		// Scalar throttles only ever write members of non-dormant
+		// groups, and the decision loop only writes active-list CPUs —
+		// all on the active list, so clearing it alone suffices. (A CPU
+		// whose group went dormant left the list with false: dormancy
+		// requires a disengaged throttle.)
+		for _, c := range m.stepCPUs() {
+			out[c] = false
+		}
 	}
 	for i, th := range m.throttles {
 		if m.async && m.thrDormant[i] {
@@ -666,6 +709,8 @@ func (m *Machine) endTimeslice(cpu topology.CPUID, atMS int64) {
 	rq.Deschedule(true)
 	if t := rq.PickNext(); t != nil {
 		m.startDispatch(cpu, t, atMS)
+	} else {
+		m.parkDirty = true
 	}
 }
 
@@ -683,6 +728,8 @@ func (m *Machine) blockTask(cpu topology.CPUID, ts *taskState, blockMS float64, 
 	}
 	if t := rq.PickNext(); t != nil {
 		m.startDispatch(cpu, t, atMS)
+	} else {
+		m.parkDirty = true
 	}
 }
 
@@ -698,6 +745,8 @@ func (m *Machine) finishTask(cpu topology.CPUID, ts *taskState, atMS int64) {
 	m.CompletionsByProg[ts.prog.Name]++
 	if t := rq.PickNext(); t != nil {
 		m.startDispatch(cpu, t, atMS)
+	} else {
+		m.parkDirty = true
 	}
 	if m.Cfg.RespawnFinished {
 		m.Spawn(ts.prog)

@@ -199,6 +199,27 @@ func engineScenarios() []engineScenario {
 			runMS: 24_000,
 		},
 		{
+			// Server1024: the widest layout, quad-core packages with SMT.
+			// A small interactive+CPU-bound mix leaves most of the 1024
+			// logical CPUs parked while hot-core checks scan the 4-core
+			// chips; kept short because the lockstep reference steps
+			// every CPU every millisecond.
+			name: "server1024",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.Server1024(),
+					Sched: sched.DefaultConfig(), Seed: 29,
+					PackageMaxPowerW: []float64{360}, MonitorPeriodMS: 1000,
+				})
+				m.SpawnN(cat.Sshd(), 4)
+				m.SpawnN(cat.Httpd(), 4)
+				m.SpawnN(cat.Bitcnts(), 3)
+				m.SpawnN(cat.Memrw(), 2)
+				return m
+			},
+			runMS: 6_000,
+		},
+		{
 			// DVFS, ondemand governor: interactive tasks idle below the
 			// Down threshold and step their CPUs down the ladder, CPU-
 			// bound respawning tasks jump back to nominal; pending

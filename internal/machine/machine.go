@@ -330,20 +330,30 @@ type Machine struct {
 	// diagnostics for the deadline scheduler, not simulation state.
 	deadlineFires [4]int64
 
-	// Per-step iteration sets. The shared step's per-CPU and per-core
-	// phases walk these instead of ranging 0..n and skipping: for the
-	// lockstep and batched engines they are the identity lists (built
-	// once); the async engine maintains stepList as the CPUs in the
-	// per-step path (un-parked, plus parked members of live throttle
-	// groups, ascending) and stepCores as the cores of un-parked
-	// packages, rebuilt lazily when parking state changes. The
-	// execution phase (6) deliberately keeps the full live-checked
-	// sweep: a CPU activated mid-phase by a spawn placement must be
-	// visited at exactly its index position (see metricSettleTo).
+	// Per-step iteration sets. Every per-CPU and per-core phase of the
+	// shared step — dispatch, throttle decisions, execution-speed
+	// resolution, the execution/energy sweep, thermal integration, and
+	// counter accounting — walks these instead of ranging 0..n and
+	// skipping: for the lockstep and batched engines they are the
+	// identity lists (built once), preserving the historical full scan;
+	// the async engine maintains stepList as the CPUs in the per-step
+	// path (un-parked, plus parked members of live throttle groups,
+	// ascending) and stepCores as the cores of un-parked packages. Both
+	// are backed by membership bitmaps (liveCPUBits, liveCoreBits)
+	// mutated in O(1) on every parking-state change and materialized
+	// into the slices lazily in O(popcount), so wake/park churn on a
+	// mostly-idle 1024-CPU machine never pays an O(nCPU) rebuild.
+	// During the execution sweep the list is a frozen snapshot:
+	// activations are deferred behind the cursor (see activateCPU and
+	// pendingActs), never mutating a list mid-iteration.
 	allCPUs        []int32
 	allCores       []int32
+	coreOfCPU      []int32 // CPU → physical core, flat (Layout.Core cached)
+	coreCPUs       []int32 // core*threads+t → CPU (Layout.CPUOfCore cached)
 	stepList       []int32
 	stepCores      []int32
+	liveCPUBits    []uint64
+	liveCoreBits   []uint64
 	stepListDirty  bool
 	stepCoresDirty bool
 
@@ -360,6 +370,26 @@ type Machine struct {
 	idleEffW     float64           // core effective power, whole package idle
 	wakePQ       *sched.EventQueue // pending wake-ups (lazy deletion)
 	asyncQueued  int               // queued count at the deadline phase
+	// lastSettleGap/lastSettleW cache the thermal sample weight for the
+	// most recent period length, shared across CPUs only when
+	// thermWShared (uniform package time constants, checked at
+	// construction): the execution sweep folds every busy CPU over the
+	// same quantum and idle settles cover identical gaps, so one
+	// math.Pow serves the machine instead of one per tracker.
+	thermWShared  bool
+	lastSettleGap float64
+	lastSettleW   float64
+	// pendingActs holds CPUs whose activation (a spawn placement from a
+	// finishing task's respawn) arrived during the execution sweep; they
+	// un-park right after the sweep so activations always land behind
+	// the cursor and never mutate the active list mid-iteration.
+	pendingActs []topology.CPUID
+	// parkDirty is set whenever a runqueue may have emptied (a task
+	// blocked, finished, or migrated away; a P-state transition
+	// released a held-back CPU), i.e. whenever the park sweep could
+	// find a new candidate. While it is clear the sweep's candidate
+	// loop is skipped — on a saturated machine no queue ever empties.
+	parkDirty bool
 	// Per-step phase markers driving the settle targets.
 	qStartMS    int64 // first tick of the quantum being stepped
 	phase6CPU   int   // CPU the execution loop is at (-1 outside it)
@@ -409,6 +439,7 @@ type Machine struct {
 	prevHalt []bool // per logical CPU: halted last tick (trace edges)
 
 	// scratch buffers reused every step
+	tickScratch     workload.TickResult // execution sweep's Tick output
 	execSpeed       []float64
 	truePower       []float64
 	corePower       []float64 // per-core raw power this step (average W)
@@ -557,6 +588,19 @@ func New(cfg Config) (*Machine, error) {
 	for c := range m.allCores {
 		m.allCores[c] = int32(c)
 	}
+	// Flat topology tables: the per-step loops resolve CPU↔core
+	// mappings every tick, and Layout derives them through integer
+	// division chains — hot enough on big machines to cache.
+	m.coreOfCPU = make([]int32, nCPU)
+	for c := 0; c < nCPU; c++ {
+		m.coreOfCPU[c] = int32(cfg.Layout.Core(topology.CPUID(c)))
+	}
+	m.coreCPUs = make([]int32, nCore*cfg.Layout.ThreadsPerPackage)
+	for core := 0; core < nCore; core++ {
+		for t := 0; t < cfg.Layout.ThreadsPerPackage; t++ {
+			m.coreCPUs[core*cfg.Layout.ThreadsPerPackage+t] = int32(cfg.Layout.CPUOfCore(core, t))
+		}
+	}
 	if !capExplicit && !cfg.ThrottleEnabled {
 		// No throttle to re-evaluate: quanta are bounded by real event
 		// horizons alone (the lockstep engine steps 1 ms regardless).
@@ -642,11 +686,18 @@ func New(cfg Config) (*Machine, error) {
 		m.coreBudget[c] = budget[pkg] / float64(cores) / coupling
 	}
 
+	m.thermWShared = true
+	w0 := thermal.ThermalPowerWeight(cfg.PackageProps[0], 1)
 	for c := 0; c < nCPU; c++ {
 		cpu := topology.CPUID(c)
 		core := cfg.Layout.Core(cpu)
 		pkg := cfg.Layout.Package(cpu)
 		w := thermal.ThermalPowerWeight(cfg.PackageProps[pkg], 1)
+		if w != w0 {
+			// Heterogeneous time constants (distinct R·C per package):
+			// each tracker computes its own sample weights.
+			m.thermWShared = false
+		}
 		maxLogical := m.coreBudget[core] / float64(threads)
 		m.Sched.Power[c] = profile.NewCPUPower(maxLogical, w, 1, idleShare)
 	}
@@ -746,6 +797,9 @@ func New(cfg Config) (*Machine, error) {
 	m.Sched.Hooks.AfterMigrate = func(t *sched.Task, from, to topology.CPUID, reason sched.MigrationReason) {
 		if m.async {
 			m.activateCPU(to)
+			// A hot migration moves the running task: the source queue
+			// may now be empty and parkable.
+			m.parkDirty = true
 		}
 		m.Migrations = append(m.Migrations, MigrationEvent{
 			TimeMS: m.nowMS, TaskID: t.ID, From: from, To: to, Reason: reason,
@@ -790,12 +844,9 @@ func (m *Machine) Spawn(prog *workload.Program) *sched.Task {
 	if m.eventDriven {
 		m.wheel.SetNow(m.nowMS)
 	}
-	if m.async {
-		// Placement reads runqueue ratios and thermal powers across
-		// the whole machine; deferred idle metrics must be settled
-		// first, and the chosen CPU rejoins the per-step path.
-		m.settleDormantMetrics()
-	}
+	// Placement reads runqueue ratios and thermal powers across the
+	// machine; under the async engine the ThermalRead hook settles any
+	// parked CPU it touches on demand.
 	cpu := m.Sched.PlaceNewTask(st)
 	if m.async {
 		m.activateCPU(cpu)

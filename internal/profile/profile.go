@@ -39,6 +39,11 @@ type ExpAvg struct {
 	// primed is false until the first update; the first sample
 	// initializes the average outright unless a Seed was set.
 	primed bool
+	// lastPeriod/lastW cache the last WeightFor computation: updates
+	// arrive in long runs of identical periods (the engines' quantum
+	// lengths), and the math.Pow dominates the update cost.
+	lastPeriod float64
+	lastW      float64
 }
 
 // NewExpAvg creates an average with the given standard weight and
@@ -70,7 +75,11 @@ func (a *ExpAvg) WeightFor(periodMS float64) float64 {
 	if periodMS <= 0 {
 		return 0
 	}
-	return 1 - math.Pow(1-a.StdWeight, periodMS/a.StdPeriod)
+	if periodMS != a.lastPeriod {
+		a.lastPeriod = periodMS
+		a.lastW = 1 - math.Pow(1-a.StdWeight, periodMS/a.StdPeriod)
+	}
+	return a.lastW
 }
 
 // Update folds in a sample observed over periodMS milliseconds.
@@ -84,6 +93,18 @@ func (a *ExpAvg) Update(sample, periodMS float64) {
 		return
 	}
 	w := a.WeightFor(periodMS)
+	a.value = w*sample + (1-w)*a.value
+}
+
+// UpdateWeighted folds in a sample using a precomputed weight — the
+// value WeightFor would return for the period the sample covers.
+// Callers settling many identically-parameterized averages over the
+// same period share one weight computation this way.
+func (a *ExpAvg) UpdateWeighted(sample, w float64) {
+	if !a.primed {
+		a.Seed(sample)
+		return
+	}
 	a.value = w*sample + (1-w)*a.value
 }
 
@@ -177,6 +198,22 @@ func (c *CPUPower) AddEnergy(energyJ, periodMS float64) {
 
 // ThermalPower returns the thermal-power metric in W.
 func (c *CPUPower) ThermalPower() float64 { return c.thermal.Value() }
+
+// ThermalWeightFor returns the thermal average's sample weight for a
+// period, for use with AddEnergyWeighted.
+func (c *CPUPower) ThermalWeightFor(periodMS float64) float64 {
+	return c.thermal.WeightFor(periodMS)
+}
+
+// AddEnergyWeighted is AddEnergy with a caller-supplied weight: when
+// every per-CPU tracker of a machine shares the same parameters, a
+// settle sweeping many CPUs over one gap amortizes the math.Pow.
+func (c *CPUPower) AddEnergyWeighted(energyJ, periodMS, w float64) {
+	if periodMS <= 0 {
+		return
+	}
+	c.thermal.UpdateWeighted(energyJ/(periodMS/1000), w)
+}
 
 // RetentionPerMS returns the fraction of the thermal-power metric that
 // survives one millisecond of updates: feeding a constant sample x for n

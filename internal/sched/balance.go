@@ -6,6 +6,63 @@ import (
 	"energysched/internal/topology"
 )
 
+// Group-ranking metrics of extremeGroup.
+const (
+	groupMetricRQRatio = iota // mean runqueue power ratio (§4.3)
+	groupMetricThermal        // mean thermal power ratio (ablation)
+	groupMetricLen            // mean runqueue length (load step)
+)
+
+// extremeGroup returns the index and value of the group of dom that
+// maximizes the metric (strict, first group wins ties — the historical
+// scan order). The scan is memoized per domain: the ranking is
+// independent of the calling CPU and stands until a queue mutation
+// (qMutGen) invalidates it. Only the queue-length ranking survives
+// across deadline epochs — lengths change through mutations alone. The
+// runqueue-power ranking expires with the epoch: queue power sums the
+// tasks' profiled watts, which drift with every timeslice sample
+// without touching qMutGen. The thermal ranking likewise expires on
+// any settle or epoch (coolGen).
+func (s *Scheduler) extremeGroup(cache map[*topology.Domain]groupEntry, dom *topology.Domain, metric int) (int, float64) {
+	if s.memoOn {
+		if e, ok := cache[dom]; ok && e.mutGen == s.qMutGen {
+			valid := false
+			switch metric {
+			case groupMetricLen:
+				valid = true
+			case groupMetricRQRatio:
+				valid = e.epoch == s.memoGen
+			case groupMetricThermal:
+				valid = e.coolGen == s.coolGen
+			}
+			if valid {
+				return int(e.idx), e.val
+			}
+		}
+	}
+	best := -1
+	bestVal := math.Inf(-1)
+	for i, g := range dom.Groups {
+		var v float64
+		switch metric {
+		case groupMetricRQRatio:
+			v = s.groupRQRatio(g)
+		case groupMetricThermal:
+			v = s.groupThermalRatio(g)
+		default:
+			v = s.groupRQLen(g)
+		}
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	if s.memoOn {
+		cache[dom] = groupEntry{epoch: s.memoGen, coolGen: s.coolGen,
+			mutGen: s.qMutGen, idx: int32(best), val: bestVal}
+	}
+	return best, bestVal
+}
+
 // Balance runs the merged energy + load balancing algorithm of §4.4
 // (Fig. 4) on behalf of cpu. Like Linux's load balancer it executes on
 // every CPU and only *pulls*: imbalances that would require pushing are
@@ -31,17 +88,13 @@ func (s *Scheduler) Balance(cpu topology.CPUID) {
 func (s *Scheduler) energyBalanceStep(cpu topology.CPUID, dom *topology.Domain) {
 	// "Search CPU group with highest average power ratio". The
 	// thermal-only ablation ranks groups by thermal ratio instead.
-	hottest := -1
-	hottestRatio := math.Inf(-1)
-	for i, g := range dom.Groups {
-		r := s.groupRQRatio(g)
-		if s.Cfg.Metric == MetricThermalOnly {
-			r = s.groupThermalRatio(g)
-		}
-		if r > hottestRatio {
-			hottest, hottestRatio = i, r
-		}
+	// Cached per domain within a deadline epoch: the ranking is caller-
+	// independent and stands until a task moves or a metric settles.
+	metric := groupMetricRQRatio
+	if s.Cfg.Metric == MetricThermalOnly {
+		metric = groupMetricThermal
 	}
+	hottest, _ := s.extremeGroup(s.hotGroups, dom, metric)
 	if hottest < 0 || hottest == dom.GroupOf(cpu) {
 		return // "Group contains local CPU?" → yes: nothing to pull here
 	}
@@ -142,13 +195,7 @@ func ratioAfter(powerSum float64, n int, maxPower float64) float64 {
 // cooler (§4.4). In domains whose groups are SMT siblings the energy
 // restrictions do not apply (§4.7).
 func (s *Scheduler) loadBalanceStep(cpu topology.CPUID, dom *topology.Domain) {
-	busiest := -1
-	busiestLen := math.Inf(-1)
-	for i, g := range dom.Groups {
-		if l := s.groupRQLen(g); l > busiestLen {
-			busiest, busiestLen = i, l
-		}
-	}
+	busiest, _ := s.extremeGroup(s.bsyGroups, dom, groupMetricLen)
 	if busiest < 0 || busiest == dom.GroupOf(cpu) {
 		return
 	}

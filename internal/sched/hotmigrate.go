@@ -16,18 +16,15 @@ import (
 // core is the whole package; on a §7 CMP each core is a heat source of
 // its own. For non-SMT layouts this degenerates to the §4.5 wording.
 func (s *Scheduler) HotTrigger(cpu topology.CPUID) bool {
-	l := s.Topo.Layout
-	core := l.Core(cpu)
-	var tp, maxP float64
-	for t := 0; t < l.ThreadsPerPackage; t++ {
-		c := l.CPUOfCore(core, t)
-		tp += s.ThermalPower(c)
-		maxP += s.MaxPower(c)
+	base := int(s.coreOf[cpu]) * s.threads
+	var maxP float64
+	for t := 0; t < s.threads; t++ {
+		maxP += s.MaxPower(topology.CPUID(s.coreCPUs[base+t]))
 	}
 	if maxP >= 1e18 {
 		return false // no power budget installed
 	}
-	return tp >= maxP-s.Cfg.HotTriggerMarginW
+	return s.CoreThermalSum(cpu) >= maxP-s.Cfg.HotTriggerMarginW
 }
 
 // HotCheck runs the §4.5 hot task migration algorithm (Fig. 5) for cpu.
@@ -57,6 +54,7 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 	}
 	task := rq.Current
 	myCoreTP := s.CoreThermalSum(cpu)
+	myCore := int(s.coreOf[cpu])
 
 	for _, dom := range s.Topo.DomainsFor(cpu) {
 		if dom.Flags&topology.FlagShareCPUPower != 0 {
@@ -67,18 +65,7 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 		// logical CPU that idled next to a busy sibling is NOT a cool
 		// destination. The source core is excluded (its siblings share
 		// the overheating silicon, §4.7).
-		destCore := -1
-		destTP := math.Inf(1)
-		myCore := s.Topo.Layout.Core(cpu)
-		for _, c := range dom.Span {
-			core := s.Topo.Layout.Core(c)
-			if core == myCore || core == destCore {
-				continue
-			}
-			if tp := s.CoreThermalSum(c); tp < destTP {
-				destCore, destTP = core, tp
-			}
-		}
+		destCore, destTP := s.coolestCoreExcl(dom, myCore)
 		if destCore < 0 {
 			continue
 		}
@@ -89,8 +76,8 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 		}
 		// Within the coolest core: "CPU idle?" → migrate there.
 		var idle, exch topology.CPUID = -1, -1
-		for t := 0; t < s.Topo.Layout.ThreadsPerPackage; t++ {
-			c := s.Topo.Layout.CPUOfCore(destCore, t)
+		for t := 0; t < s.threads; t++ {
+			c := topology.CPUID(s.coreCPUs[destCore*s.threads+t])
 			dstRQ := s.RQ(c)
 			if dstRQ.Idle() && idle < 0 {
 				idle = c
@@ -116,19 +103,104 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 	return false
 }
 
+// coolestCoreExcl returns the coolest physical core of a domain's span
+// other than myCore, with its summed thermal power; (-1, +inf) when no
+// such core exists. Within a deadline epoch the domain's two coolest
+// cores are computed once and shared by every hot check that fires in
+// the phase — the thermal sums they rank cannot change between fires
+// except through settles, which invalidate the cache. The top two
+// suffice because each caller excludes exactly one core (its own).
+func (s *Scheduler) coolestCoreExcl(dom *topology.Domain, myCore int) (int, float64) {
+	if !s.memoOn {
+		// Outside an epoch (direct HotCheck calls in tests): plain scan.
+		destCore := -1
+		destTP := math.Inf(1)
+		for _, core := range s.domainCores(dom) {
+			if int(core) == myCore {
+				continue
+			}
+			if tp := s.coreSum(int(core)); tp < destTP {
+				destCore, destTP = int(core), tp
+			}
+		}
+		return destCore, destTP
+	}
+	e, ok := s.coolCache[dom]
+	if !ok || e.gen != s.coolGen {
+		e = coolEntry{top1: -1, top2: -1,
+			tp1: math.Inf(1), tp2: math.Inf(1)}
+		for _, core := range s.domainCores(dom) {
+			tp := s.coreSum(int(core))
+			if tp < e.tp1 {
+				e.top2, e.tp2 = e.top1, e.tp1
+				e.top1, e.tp1 = core, tp
+			} else if tp < e.tp2 {
+				e.top2, e.tp2 = core, tp
+			}
+		}
+		// Stamp with the generation as of the END of the scan: the
+		// scan's own reads may settle deferred metrics (bumping
+		// coolGen), but each settle lands before that CPU's sum is
+		// taken, so the ranking is current at scan end — stamping the
+		// start generation would invalidate the entry it just built.
+		e.gen = s.coolGen
+		s.coolCache[dom] = e
+	}
+	if int(e.top1) != myCore {
+		return int(e.top1), e.tp1
+	}
+	return int(e.top2), e.tp2
+}
+
 // CoreThermalSum returns the summed thermal power of all logical CPUs
 // on cpu's physical core — the quantity that corresponds to the core's
 // temperature (§4.7; per-core on a §7 CMP). It iterates the siblings
-// directly (rather than via Siblings) to stay allocation-free: it runs
-// per candidate core inside every hot-task check.
+// directly (rather than via Siblings) to stay allocation-free, and
+// within a deadline epoch memoizes the sum per core: a hot-check
+// phase reads each core once per sibling trigger and once per domain
+// level it appears in. If computing the sum settles a deferred
+// sibling, the settle's invalidation lands before the post-loop
+// stamp, so the memo stores the settled sum.
 func (s *Scheduler) CoreThermalSum(cpu topology.CPUID) float64 {
-	l := s.Topo.Layout
-	core := l.Core(cpu)
+	return s.coreSum(int(s.coreOf[cpu]))
+}
+
+// coreSum is CoreThermalSum keyed by physical core index.
+func (s *Scheduler) coreSum(core int) float64 {
+	if s.memoOn && s.coreSumStamp[core] == s.memoGen {
+		return s.coreSumVal[core]
+	}
+	base := core * s.threads
 	sum := 0.0
-	for t := 0; t < l.ThreadsPerPackage; t++ {
-		sum += s.ThermalPower(l.CPUOfCore(core, t))
+	for t := 0; t < s.threads; t++ {
+		sum += s.ThermalPower(topology.CPUID(s.coreCPUs[base+t]))
+	}
+	if s.memoOn {
+		s.coreSumStamp[core] = s.memoGen
+		s.coreSumVal[core] = sum
 	}
 	return sum
+}
+
+// domainCores returns the distinct physical cores of a domain's span in
+// first-encounter order (preserving the historical scan's tie-breaks),
+// built once per domain — topology is static, so the list never
+// changes. Iterating cores instead of span CPUs halves the destination
+// scan on SMT layouts.
+func (s *Scheduler) domainCores(dom *topology.Domain) []int32 {
+	if cores, ok := s.domCores[dom]; ok {
+		return cores
+	}
+	seen := make([]bool, len(s.coreSumStamp))
+	cores := make([]int32, 0, len(dom.Span)/s.threads+1)
+	for _, c := range dom.Span {
+		if core := s.coreOf[c]; !seen[core] {
+			seen[core] = true
+			cores = append(cores, core)
+		}
+	}
+	s.domCores[dom] = cores
+	return cores
 }
 
 // PackageThermalSum returns the summed thermal power of all logical

@@ -37,12 +37,13 @@ func (s *Scheduler) PlaceNewTask(t *Task) topology.CPUID {
 			minLen = l
 		}
 	}
-	var eligible []topology.CPUID
+	eligible := s.eligScratch[:0]
 	for i, rq := range s.RQs {
 		if rq.Len() == minLen {
 			eligible = append(eligible, topology.CPUID(i))
 		}
 	}
+	s.eligScratch = eligible // keep the grown backing array
 
 	var chosen topology.CPUID
 	if !s.Cfg.EnergyAwarePlacement || len(eligible) == 1 {
@@ -54,7 +55,7 @@ func (s *Scheduler) PlaceNewTask(t *Task) topology.CPUID {
 		chosen = eligible[0]
 		bestNode, bestPkg := 1<<30, 1<<30
 		for _, c := range eligible {
-			nl := s.nodeTaskCount(s.Topo.Layout.Node(c))
+			nl := s.nodeTaskCount(int(s.loads.nodeOf[c]))
 			pl := s.packageTaskCount(c)
 			if nl < bestNode || (nl == bestNode && pl < bestPkg) {
 				chosen, bestNode, bestPkg = c, nl, pl
@@ -75,7 +76,7 @@ func (s *Scheduler) PlaceNewTask(t *Task) topology.CPUID {
 			rq := s.RQ(c)
 			withTask := ratioAfter(rq.PowerSum()+estWatts, rq.Len()+1, s.MaxPower(c))
 			d := math.Abs(withTask - avg)
-			nl := s.nodeTaskCount(s.Topo.Layout.Node(c))
+			nl := s.nodeTaskCount(int(s.loads.nodeOf[c]))
 			tp := s.PackageThermalSum(c)
 			const eps = 1e-9
 			better := d < bestDist-eps ||
@@ -90,25 +91,18 @@ func (s *Scheduler) PlaceNewTask(t *Task) topology.CPUID {
 	return chosen
 }
 
-// nodeTaskCount returns the number of runnable tasks on a NUMA node.
+// nodeTaskCount returns the number of runnable tasks on a NUMA node,
+// from the incrementally maintained domain counts (profiling showed the
+// old full-runqueue scan — with its per-CPU integer-division topology
+// lookups — dominating placement on saturated large machines).
 func (s *Scheduler) nodeTaskCount(node int) int {
-	n := 0
-	for i, rq := range s.RQs {
-		if s.Topo.Layout.Node(topology.CPUID(i)) == node {
-			n += rq.Len()
-		}
-	}
-	return n
+	return int(s.loads.node[node])
 }
 
 // packageTaskCount returns the number of runnable tasks on cpu's
 // physical package (all cores and threads).
 func (s *Scheduler) packageTaskCount(cpu topology.CPUID) int {
-	n := 0
-	for _, c := range s.Topo.Layout.PackageCPUs(s.Topo.Layout.Package(cpu)) {
-		n += s.RQ(c).Len()
-	}
-	return n
+	return int(s.loads.pkg[s.loads.pkgOf[cpu]])
 }
 
 // RecordFirstSlice stores the power a task drew during its first

@@ -29,6 +29,12 @@ type Runqueue struct {
 	// and governor deadlines. nil when no deadline scheduler is
 	// attached (bare scheduler tests, the lockstep reference engine).
 	notify *Wheel
+
+	// loads is the scheduler's per-domain runnable-task accounting,
+	// shifted on every mutation that changes Len (Enqueue, a
+	// non-requeueing Deschedule, RemoveQueued — PickNext and requeueing
+	// Deschedule keep Len constant). nil for standalone runqueues.
+	loads *loadCounts
 }
 
 // changed reports an occupancy mutation to the attached deadline
@@ -62,6 +68,9 @@ func (rq *Runqueue) Idle() bool { return rq.Len() == 0 }
 func (rq *Runqueue) Enqueue(t *Task) {
 	t.CPU = rq.CPU
 	rq.queue = append(rq.queue, t)
+	if rq.loads != nil {
+		rq.loads.add(rq.CPU, 1)
+	}
 	rq.changed()
 }
 
@@ -91,6 +100,8 @@ func (rq *Runqueue) Deschedule(requeue bool) *Task {
 	rq.Current = nil
 	if requeue {
 		rq.queue = append(rq.queue, t)
+	} else if rq.loads != nil {
+		rq.loads.add(rq.CPU, -1)
 	}
 	rq.changed()
 	return t
@@ -107,6 +118,9 @@ func (rq *Runqueue) RemoveQueued(t *Task) {
 	for i, q := range rq.queue {
 		if q == t {
 			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
+			if rq.loads != nil {
+				rq.loads.add(rq.CPU, -1)
+			}
 			rq.changed()
 			return
 		}

@@ -69,6 +69,11 @@ type Node struct {
 	Props Properties
 	// TempC is the current junction temperature in °C.
 	TempC float64
+	// lastDT/lastDecay cache the step exponential: the engines step a
+	// node with long runs of identical quantum lengths, and the exp
+	// dominates the update cost on large topologies.
+	lastDT    float64
+	lastDecay float64
 }
 
 // NewNode returns a node at thermal equilibrium with ambient air.
@@ -88,8 +93,16 @@ func NewNode(p Properties) *Node {
 //	T(t+dt) = T_steady + (T(t) − T_steady)·e^(−dt/RC)
 func (n *Node) Step(power, dtMS float64) {
 	steady := n.Props.SteadyTemp(power)
-	decay := math.Exp(-dtMS / 1000 / n.Props.TimeConstant())
-	n.TempC = steady + (n.TempC-steady)*decay
+	n.TempC = steady + (n.TempC-steady)*n.decayFor(dtMS)
+}
+
+// decayFor returns e^(−dt/RC), cached for repeated dt.
+func (n *Node) decayFor(dtMS float64) float64 {
+	if dtMS != n.lastDT {
+		n.lastDT = dtMS
+		n.lastDecay = math.Exp(-dtMS / 1000 / n.Props.TimeConstant())
+	}
+	return n.lastDecay
 }
 
 // StepExact advances the model by dtMS milliseconds at constant power.
@@ -308,8 +321,7 @@ func Calibrate(samples []float64, sampleStepS, power, ambient float64) (Calibrat
 // constant.
 func (n *Node) StepOver(power, dtMS, referenceC float64) {
 	steady := referenceC + n.Props.R*power
-	decay := math.Exp(-dtMS / 1000 / n.Props.TimeConstant())
-	n.TempC = steady + (n.TempC-steady)*decay
+	n.TempC = steady + (n.TempC-steady)*n.decayFor(dtMS)
 }
 
 // StepOverBatched advances the node by dtMS milliseconds against a

@@ -70,10 +70,17 @@ func Server64() Layout {
 	return Layout{Nodes: 2, PackagesPerNode: 8, CoresPerPackage: 2, ThreadsPerPackage: 2}
 }
 
-// Server256 is the largest reference layout: four NUMA nodes of sixteen
+// Server256 is a large reference layout: four NUMA nodes of sixteen
 // dual-core SMT packages — 128 cores, 256 logical CPUs.
 func Server256() Layout {
 	return Layout{Nodes: 4, PackagesPerNode: 16, CoresPerPackage: 2, ThreadsPerPackage: 2}
+}
+
+// Server1024 is the largest reference layout, the ROADMAP's 1024-CPU
+// target for the O(busy) engine work: eight NUMA nodes of sixteen
+// quad-core SMT packages — 512 cores, 1024 logical CPUs.
+func Server1024() Layout {
+	return Layout{Nodes: 8, PackagesPerNode: 16, CoresPerPackage: 4, ThreadsPerPackage: 2}
 }
 
 // Validate reports an error if the layout is degenerate.
@@ -195,6 +202,11 @@ type Domain struct {
 	// Parent is the next-higher domain containing this one, nil at the
 	// top.
 	Parent *Domain
+	// groupOf maps CPU → group index (-1 outside the span). Built at
+	// construction for wide domains, where the nested GroupOf scan
+	// would cost O(span) on every balance pass; narrow domains keep
+	// the scan.
+	groupOf []int32
 }
 
 // Contains reports whether the domain's span includes cpu.
@@ -209,6 +221,9 @@ func (d *Domain) Contains(cpu CPUID) bool {
 
 // GroupOf returns the index of the group containing cpu, or -1.
 func (d *Domain) GroupOf(cpu CPUID) int {
+	if d.groupOf != nil {
+		return int(d.groupOf[int(cpu)])
+	}
 	for i, g := range d.Groups {
 		for _, c := range g {
 			if c == cpu {
@@ -217,6 +232,23 @@ func (d *Domain) GroupOf(cpu CPUID) int {
 		}
 	}
 	return -1
+}
+
+// indexGroups builds the O(1) group lookup for domains whose span is
+// wide enough that the linear scan shows up in balance passes.
+func (d *Domain) indexGroups(nCPU int) {
+	if d.groupOf != nil || len(d.Span) < 32 {
+		return
+	}
+	d.groupOf = make([]int32, nCPU)
+	for i := range d.groupOf {
+		d.groupOf[i] = -1
+	}
+	for i, g := range d.Groups {
+		for _, c := range g {
+			d.groupOf[int(c)] = int32(i)
+		}
+	}
 }
 
 // Topology combines a Layout with its scheduler-domain hierarchy.
@@ -374,6 +406,9 @@ func New(l Layout) (*Topology, error) {
 			chain = append(chain, top)
 		}
 		t.domains[c] = chain
+		for _, d := range chain {
+			d.indexGroups(l.NumLogical())
+		}
 	}
 	return t, nil
 }

@@ -39,6 +39,15 @@ type (
 	DVFSComparisonResult = experiments.DVFSComparisonResult
 )
 
+// SetParallelism bounds the worker pool the sweep experiments (Figs. 8
+// and 10, the §6.1 migration grid, the sensitivity sweeps) use for
+// their independent runs: 0 restores the default (GOMAXPROCS), 1
+// forces sequential execution. Every run is seeded deterministically
+// from its sweep index and aggregated in order, so results are
+// byte-identical for every worker count — the knob only trades wall
+// clock for host cores.
+func SetParallelism(jobs int) { experiments.Jobs = jobs }
+
 // ReproduceTable1 regenerates Table 1 (per-timeslice power change).
 func ReproduceTable1(seed uint64, slices int) []Table1Row {
 	return experiments.Table1(seed, slices)
