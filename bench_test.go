@@ -106,7 +106,10 @@ func BenchmarkFigure7BalancingEnabled(b *testing.B) {
 // 9.8 → 87 SMT on).
 func BenchmarkMigrationCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		mc := energysched.ReproduceMigrationCounts(61, 300_000)
+		mc, err := energysched.ReproduceMigrationCounts(61, 300_000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(mc.SMTOffEnabled), "smtoff-enabled")
 		b.ReportMetric(float64(mc.SMTOnEnabled), "smton-enabled")
 	}
@@ -119,7 +122,10 @@ func BenchmarkFigure8WorkloadMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultFigure8Config()
 		cfg.WarmupMS, cfg.MeasureMS = 40_000, 160_000
-		points := experiments.Figure8(cfg)
+		points, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		peak := 0.0
 		for _, p := range points {
 			if p.GainPct > peak {
@@ -149,7 +155,10 @@ func BenchmarkFigure10MultiTask(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultFigure10Config()
 		cfg.WarmupMS, cfg.MeasureMS = 40_000, 160_000
-		points := experiments.Figure10(cfg)
+		points, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(points[0].GainPct, "gain-1-task-%")
 		b.ReportMetric(points[7].GainPct, "gain-8-tasks-%")
 	}
@@ -252,8 +261,14 @@ func BenchmarkUnitAware(b *testing.B) {
 // DefaultConfig tuning constants.
 func BenchmarkSweeps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hys := experiments.SweepHysteresis(61, 200_000)
-		tau := experiments.SweepTimeConstant(7, 200_000)
+		hys, err := experiments.SweepHysteresis(61, 200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tau, err := experiments.SweepTimeConstant(7, 200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(hys[0].Migrations), "migrations-margin0")
 		b.ReportMetric(float64(hys[3].Migrations), "migrations-default")
 		b.ReportMetric(tau[2].HopPeriodS, "hop-period-tau15-s")

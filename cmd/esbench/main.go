@@ -173,17 +173,35 @@ func loadBaseline(path string) (*Report, error) {
 	return &rep, nil
 }
 
+// pctDelta returns the percentage change from base to cur and whether
+// the percentage is defined: a zero or negative base ns/op — a
+// truncated or hand-edited baseline row — has no meaningful delta, and
+// feeding it to the gate would produce a NaN that silently compares
+// false against every threshold.
+func pctDelta(base, cur float64) (float64, bool) {
+	if base <= 0 {
+		return 0, false
+	}
+	return (cur - base) / base * 100, true
+}
+
 // compare prints the per-benchmark ns/op deltas of cur against base and
 // returns the number of benchmarks that regressed by more than
 // thresholdPct. Matching is by (name, engine); benchmarks present in
 // only one of the two reports are printed as "new" / "gone" rows so a
 // renamed or dropped scenario is visible in the gate output, but they
-// never gate — there is nothing to compare them against.
+// never gate — there is nothing to compare them against. Rows that
+// cannot be compared (zero-ns/op baseline) and duplicated keys (the
+// first occurrence wins on both sides — a duplicate row means a
+// corrupted or concatenated report) are likewise visible but non-gating.
 func compare(w io.Writer, base, cur *Report, thresholdPct float64) (regressions int) {
 	type key struct{ name, engine string }
 	baseBy := make(map[key]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
-		baseBy[key{r.Name, r.Engine}] = r
+		k := key{r.Name, r.Engine}
+		if _, dup := baseBy[k]; !dup {
+			baseBy[k] = r
+		}
 	}
 	fmt.Fprintf(w, "bench gate: current (%s) vs baseline %s (%s), threshold +%.0f%% ns/op\n",
 		cur.GitSHA, base.Date, base.GitSHA, thresholdPct)
@@ -191,13 +209,21 @@ func compare(w io.Writer, base, cur *Report, thresholdPct float64) (regressions 
 	seen := make(map[key]bool, len(cur.Benchmarks))
 	for _, r := range cur.Benchmarks {
 		k := key{r.Name, r.Engine}
+		if seen[k] {
+			fmt.Fprintf(w, "%-28s %-9s %14s %14.0f %8s\n", r.Name, r.Engine, "-", r.NsPerOp, "dup")
+			continue
+		}
 		seen[k] = true
 		b, ok := baseBy[k]
 		if !ok {
 			fmt.Fprintf(w, "%-28s %-9s %14s %14.0f %8s\n", r.Name, r.Engine, "-", r.NsPerOp, "new")
 			continue
 		}
-		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		delta, ok := pctDelta(b.NsPerOp, r.NsPerOp)
+		if !ok {
+			fmt.Fprintf(w, "%-28s %-9s %14.0f %14.0f %8s\n", r.Name, r.Engine, b.NsPerOp, r.NsPerOp, "n/a")
+			continue
+		}
 		verdict := ""
 		if delta > thresholdPct {
 			verdict = "  REGRESSION"
@@ -259,8 +285,13 @@ func trend(w io.Writer, series []*Report, cur *Report) {
 	}
 	byKey := make(map[key]*hist)
 	for _, rep := range series {
+		repSeen := make(map[key]bool, len(rep.Benchmarks))
 		for _, r := range rep.Benchmarks {
 			k := key{r.Name, r.Engine}
+			if repSeen[k] {
+				continue // duplicate row in one report: first wins
+			}
+			repSeen[k] = true
 			h, ok := byKey[k]
 			if !ok {
 				h = &hist{oldest: r, oldDate: rep.Date}
@@ -281,10 +312,18 @@ func trend(w io.Writer, series []*Report, cur *Report) {
 				r.Name, r.Engine, 0, "-", "-", r.NsPerOp, "new", "new")
 			continue
 		}
-		vsTail := (r.NsPerOp - h.tail.NsPerOp) / h.tail.NsPerOp * 100
-		vsOld := (r.NsPerOp - h.oldest.NsPerOp) / h.oldest.NsPerOp * 100
-		fmt.Fprintf(w, "%-28s %-9s %3d %14.0f %14.0f %14.0f %+8.1f%% %+8.1f%%\n",
-			r.Name, r.Engine, h.n, h.oldest.NsPerOp, h.tail.NsPerOp, r.NsPerOp, vsTail, vsOld)
+		// A zero-ns/op baseline row (truncated or hand-edited report)
+		// yields no percentage; print the column as n/a instead of NaN.
+		fmtPct := func(base float64) string {
+			d, ok := pctDelta(base, r.NsPerOp)
+			if !ok {
+				return "n/a"
+			}
+			return fmt.Sprintf("%+.1f%%", d)
+		}
+		fmt.Fprintf(w, "%-28s %-9s %3d %14.0f %14.0f %14.0f %9s %9s\n",
+			r.Name, r.Engine, h.n, h.oldest.NsPerOp, h.tail.NsPerOp, r.NsPerOp,
+			fmtPct(h.tail.NsPerOp), fmtPct(h.oldest.NsPerOp))
 	}
 }
 

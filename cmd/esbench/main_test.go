@@ -77,6 +77,93 @@ func TestTrendReportsTailAndCumulativeDrift(t *testing.T) {
 	}
 }
 
+// TestCompareZeroBaseline: a zero-ns/op baseline row must not gate —
+// the old delta arithmetic divided by it, and the resulting NaN
+// compared false against every threshold, a silent pass for the one
+// row that is actually broken (and an unconditional failure had the
+// division produced +Inf).
+func TestCompareZeroBaseline(t *testing.T) {
+	base := report("2026-08-01", "aaa",
+		mark("truncated", "async", 0),
+		mark("healthy", "async", 100),
+	)
+	cur := report("2026-08-08", "bbb",
+		mark("truncated", "async", 500),
+		mark("healthy", "async", 300),
+	)
+	var b strings.Builder
+	if n := compare(&b, base, cur, 15); n != 1 {
+		t.Errorf("regressions = %d, want 1 (only the comparable row gates):\n%s", n, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("zero baseline row not marked n/a:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("NaN/Inf leaked into gate output:\n%s", out)
+	}
+}
+
+// TestCompareDuplicateRows: duplicate (name, engine) rows in one file —
+// a concatenated or corrupted report — must resolve deterministically:
+// the first row wins on both sides, later ones are visible as "dup"
+// and never gate.
+func TestCompareDuplicateRows(t *testing.T) {
+	base := report("2026-08-01", "aaa",
+		mark("saturated", "async", 100),
+		mark("saturated", "async", 1), // would gate everything if it won
+	)
+	cur := report("2026-08-08", "bbb",
+		mark("saturated", "async", 105),
+		mark("saturated", "async", 9999),
+	)
+	var b strings.Builder
+	if n := compare(&b, base, cur, 15); n != 0 {
+		t.Errorf("regressions = %d, want 0 (first rows compare 100→105):\n%s", n, b.String())
+	}
+	if !strings.Contains(b.String(), "dup") {
+		t.Errorf("duplicate current row not marked:\n%s", b.String())
+	}
+}
+
+// TestTrendZeroAndDuplicateBaseline: trend must survive zero-ns/op
+// rows and in-report duplicates, printing n/a instead of NaN.
+func TestTrendZeroAndDuplicateBaseline(t *testing.T) {
+	series := []*Report{
+		report("2026-07-29", "aaa",
+			mark("saturated", "async", 0),
+			mark("saturated", "async", 100), // dup within one report: ignored
+		),
+		report("2026-07-30", "bbb", mark("saturated", "async", 0)),
+	}
+	cur := report("2026-08-08", "ccc", mark("saturated", "async", 120))
+	var b strings.Builder
+	trend(&b, series, cur)
+	if !strings.Contains(b.String(), "n/a") {
+		t.Errorf("zero baseline not marked n/a:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Errorf("NaN leaked into trend output:\n%s", b.String())
+	}
+}
+
+// TestLoadTrendEmptyDir: an empty trend directory is a report, not a
+// crash — the series loads empty and trend() says so.
+func TestLoadTrendEmptyDir(t *testing.T) {
+	series, err := loadTrend(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 0 {
+		t.Fatalf("series = %d reports, want 0", len(series))
+	}
+	var b strings.Builder
+	trend(&b, series, report("2026-08-08", "ddd", mark("a", "async", 10)))
+	if !strings.Contains(b.String(), "no committed") {
+		t.Errorf("missing empty-series notice:\n%s", b.String())
+	}
+}
+
 // TestLoadTrendSortsAndSkipsOwnOutput writes a small baseline series
 // plus this run's own output file into a directory and checks the
 // series comes back chronological with the own file excluded.

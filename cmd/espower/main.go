@@ -170,7 +170,10 @@ func (r runner) run(cmd string) bool {
 		cfg.Seed = r.seed
 		cfg.WarmupMS = r.scale(cfg.WarmupMS)
 		cfg.MeasureMS = r.scale(cfg.MeasureMS)
-		points := experiments.Figure8(cfg)
+		points, err := experiments.Figure8(cfg)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Println("Figure 8: Dependence of throughput on the workload (#memrw/#pushpop/#bitcnts)")
 		labels := make([]string, len(points))
 		values := make([]float64, len(points))
@@ -197,7 +200,10 @@ func (r runner) run(cmd string) bool {
 		cfg.Seed = r.seed
 		cfg.WarmupMS = r.scale(cfg.WarmupMS)
 		cfg.MeasureMS = r.scale(cfg.MeasureMS)
-		points := experiments.Figure10(cfg)
+		points, err := experiments.Figure10(cfg)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Println("Figure 10: hot task migration — throughput with multiple tasks")
 		labels := make([]string, len(points))
 		values := make([]float64, len(points))
@@ -211,7 +217,10 @@ func (r runner) run(cmd string) bool {
 		fmt.Print(experiments.FormatHotTaskSpeedup(experiments.HotTaskSpeedup(r.seed, 40, work)))
 		fmt.Print(experiments.FormatHotTaskSpeedup(experiments.HotTaskSpeedup(r.seed, 50, work)))
 	case "migrations":
-		mc := experiments.MigrationCounts(r.seed, r.scale(900000))
+		mc, err := experiments.MigrationCounts(r.seed, r.scale(900000))
+		if err != nil {
+			fail(err)
+		}
 		fmt.Println("Migrations during the §6.1 mixed-workload runs:")
 		fmt.Printf("  SMT off: %4d disabled, %4d enabled   (paper: 3.3 vs 32)\n", mc.SMTOffDisabled, mc.SMTOffEnabled)
 		fmt.Printf("  SMT on:  %4d disabled, %4d enabled   (paper: 9.8 vs 87)\n", mc.SMTOnDisabled, mc.SMTOnEnabled)
@@ -241,11 +250,23 @@ func (r runner) run(cmd string) bool {
 		cfg.Governors = govs
 		fmt.Print(experiments.FormatDVFSComparison(experiments.DVFSvsThrottle(cfg)))
 	case "sweeps":
-		fmt.Print(experiments.FormatHysteresis(experiments.SweepHysteresis(r.seed, r.scale(300000))))
+		hyst, err := experiments.SweepHysteresis(r.seed, r.scale(300000))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatHysteresis(hyst))
 		fmt.Println()
-		fmt.Print(experiments.FormatTimeConstant(experiments.SweepTimeConstant(r.seed, r.scale(300000))))
+		taus, err := experiments.SweepTimeConstant(r.seed, r.scale(300000))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatTimeConstant(taus))
 		fmt.Println()
-		fmt.Print(experiments.FormatDestGap(experiments.SweepDestGap(r.seed, r.scale(300000))))
+		gaps, err := experiments.SweepDestGap(r.seed, r.scale(300000))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatDestGap(gaps))
 	case "all":
 		for _, c := range []string{"table1", "table2", "table3", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "hotspeed", "migrations", "ablation", "cmp", "policies", "units", "dvfs", "sweeps"} {
 			fmt.Printf("==== %s ====\n", c)

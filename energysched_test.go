@@ -207,14 +207,14 @@ func TestReproduceFacade(t *testing.T) {
 	if r := energysched.ReproduceHotTaskSpeedup(1, 40); r.TimeReductionPct <= 0 {
 		t.Errorf("speedup = %v", r.TimeReductionPct)
 	}
-	if mc := energysched.ReproduceMigrationCounts(61, 30_000); mc.SMTOffEnabled == 0 {
-		t.Error("no migrations in SMT-off enabled run")
+	if mc, err := energysched.ReproduceMigrationCounts(61, 30_000); err != nil || mc.SMTOffEnabled == 0 {
+		t.Errorf("SMT-off enabled run: %d migrations, err %v", mc.SMTOffEnabled, err)
 	}
-	if pts := energysched.ReproduceFigure8(63); len(pts) != 10 {
-		t.Errorf("Figure8 points = %d", len(pts))
+	if pts, err := energysched.ReproduceFigure8(63); err != nil || len(pts) != 10 {
+		t.Errorf("Figure8 points = %d, err %v", len(pts), err)
 	}
-	if pts := energysched.ReproduceFigure10(64); len(pts) != 8 {
-		t.Errorf("Figure10 points = %d", len(pts))
+	if pts, err := energysched.ReproduceFigure10(64); err != nil || len(pts) != 8 {
+		t.Errorf("Figure10 points = %d, err %v", len(pts), err)
 	}
 	if r := energysched.ReproduceFigure6(61); len(r.Series) != 8 {
 		t.Errorf("Figure6 series = %d", len(r.Series))

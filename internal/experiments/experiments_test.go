@@ -185,7 +185,10 @@ func TestFigures6And7(t *testing.T) {
 }
 
 func TestMigrationCountsShape(t *testing.T) {
-	mc := MigrationCounts(61, 120_000)
+	mc, err := MigrationCounts(61, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mc.SMTOffEnabled <= mc.SMTOffDisabled {
 		t.Errorf("SMT off: %d enabled vs %d disabled", mc.SMTOffEnabled, mc.SMTOffDisabled)
 	}
@@ -202,7 +205,10 @@ func TestMigrationCountsShape(t *testing.T) {
 func TestFigure8Shape(t *testing.T) {
 	cfg := DefaultFigure8Config()
 	cfg.WarmupMS, cfg.MeasureMS = 30_000, 90_000
-	points := Figure8(cfg)
+	points, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 10 {
 		t.Fatalf("points = %d", len(points))
 	}
@@ -267,7 +273,10 @@ func TestFigure9Shape(t *testing.T) {
 func TestFigure10Shape(t *testing.T) {
 	cfg := DefaultFigure10Config()
 	cfg.WarmupMS, cfg.MeasureMS = 30_000, 120_000
-	points := Figure10(cfg)
+	points, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 8 {
 		t.Fatalf("points = %d", len(points))
 	}
@@ -466,7 +475,10 @@ func TestUnitAware(t *testing.T) {
 // Sensitivity sweeps: verify the qualitative trade-off curves that back
 // the DefaultConfig tuning values.
 func TestSweepHysteresis(t *testing.T) {
-	pts := SweepHysteresis(61, 150_000)
+	pts, err := SweepHysteresis(61, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Migrations fall monotonically with the margin…
 	for i := 1; i < len(pts); i++ {
 		if pts[i].Migrations > pts[i-1].Migrations {
@@ -489,7 +501,10 @@ func TestSweepHysteresis(t *testing.T) {
 }
 
 func TestSweepTimeConstant(t *testing.T) {
-	pts := SweepTimeConstant(7, 150_000)
+	pts, err := SweepTimeConstant(7, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Hop period grows monotonically with tau, roughly linearly.
 	for i := 1; i < len(pts); i++ {
 		if pts[i].HopPeriodS <= pts[i-1].HopPeriodS {
@@ -507,7 +522,10 @@ func TestSweepTimeConstant(t *testing.T) {
 }
 
 func TestSweepDestGap(t *testing.T) {
-	pts := SweepDestGap(7, 150_000)
+	pts, err := SweepDestGap(7, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Small-to-moderate gaps: migration active, no throttling.
 	if pts[0].Migrations == 0 || pts[0].ThrottledFrac > 0.01 {
 		t.Errorf("small gap should migrate freely: %+v", pts[0])

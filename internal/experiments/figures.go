@@ -145,7 +145,7 @@ type MigrationCountsResult struct {
 
 // MigrationCounts runs the four §6.1 configurations. durationMS is the
 // run length (the paper uses 15 minutes).
-func MigrationCounts(seed uint64, durationMS int64) MigrationCountsResult {
+func MigrationCounts(seed uint64, durationMS int64) (MigrationCountsResult, error) {
 	run := func(smt, enabled bool) int64 {
 		cfg := ThermalTraceConfig{Seed: seed, DurationMS: durationMS, SMT: smt, EnergyBalancing: enabled, PerProgram: 3}
 		if smt {
@@ -155,13 +155,15 @@ func MigrationCounts(seed uint64, durationMS int64) MigrationCountsResult {
 	}
 	grid := []struct{ smt, enabled bool }{{false, false}, {false, true}, {true, false}, {true, true}}
 	counts := make([]int64, len(grid))
-	forEach(len(grid), func(i int) { counts[i] = run(grid[i].smt, grid[i].enabled) })
+	if err := forEach(len(grid), func(i int) { counts[i] = run(grid[i].smt, grid[i].enabled) }); err != nil {
+		return MigrationCountsResult{}, err
+	}
 	return MigrationCountsResult{
 		SMTOffDisabled: counts[0],
 		SMTOffEnabled:  counts[1],
 		SMTOnDisabled:  counts[2],
 		SMTOnEnabled:   counts[3],
-	}
+	}, nil
 }
 
 // Figure8Point is one bar of Fig. 8: a workload mix and the throughput
@@ -205,10 +207,10 @@ func Figure8Scenarios() []Figure8Point {
 // increase of energy-aware scheduling over the baseline (§6.3): the
 // benefit is largest for heterogeneous mixes and vanishes for the
 // homogeneous one.
-func Figure8(cfg Figure8Config) []Figure8Point {
+func Figure8(cfg Figure8Config) ([]Figure8Point, error) {
 	points := Figure8Scenarios()
 	cat := Catalog()
-	forEach(len(points), func(i int) {
+	err := forEach(len(points), func(i int) {
 		pt := &points[i]
 		run := func(pol sched.Config) *machine.Machine {
 			est, err := CalibratedEstimator(cfg.Seed)
@@ -239,7 +241,10 @@ func Figure8(cfg Figure8Config) []Figure8Point {
 			pt.GainPct = (on.WorkRate()/off.WorkRate() - 1) * 100
 		}
 	})
-	return points
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
 }
 
 // FormatFigure8 renders the sweep as the paper's bar labels.

@@ -109,9 +109,9 @@ func DefaultFigure10Config() Figure10Config {
 // measured as steady-state work rate, which in this fixed-work setting
 // is proportional to completions per unit time but free of completion-
 // count quantization.
-func Figure10(cfg Figure10Config) []Figure10Point {
+func Figure10(cfg Figure10Config) ([]Figure10Point, error) {
 	out := make([]Figure10Point, cfg.MaxTasks)
-	forEach(cfg.MaxTasks, func(i int) {
+	err := forEach(cfg.MaxTasks, func(i int) {
 		n := i + 1
 		run := func(pol sched.Config) *machine.Machine {
 			m := newMachine(machine.Config{
@@ -136,7 +136,10 @@ func Figure10(cfg Figure10Config) []Figure10Point {
 		}
 		out[i] = pt
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FormatFigure10 renders the sweep.

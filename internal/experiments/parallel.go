@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -19,7 +21,32 @@ var Jobs int
 // result or its order, it only uses the host's cores to regenerate
 // sweeps (Figs. 8 and 10, the §6.1 migration grid) faster. Output is
 // byte-identical for every worker count.
-func forEach(n int, fn func(i int)) {
+//
+// A panic inside fn is contained to its slot: the worker recovers,
+// keeps draining the queue (so the feeder never blocks on a dead
+// pool), and forEach reports the panic as an error naming the owning
+// slot. When several slots panic, the lowest index wins, so the error
+// is the same for every worker count.
+func forEach(n int, fn func(i int)) error {
+	var (
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := debug.Stack()
+				mu.Lock()
+				if firstErr == nil || i < firstIdx {
+					firstIdx = i
+					firstErr = fmt.Errorf("experiments: run %d panicked: %v\n%s", i, r, stack)
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
 	workers := Jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,9 +56,9 @@ func forEach(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
 		}
-		return
+		return firstErr
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -40,7 +67,7 @@ func forEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -49,4 +76,5 @@ func forEach(n int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	return firstErr
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -11,7 +12,9 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	for _, jobs := range []int{0, 1, 2, 7, 64} {
 		Jobs = jobs
 		var hits [33]int32
-		forEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		if err := forEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("jobs=%d: index %d run %d times", jobs, i, h)
@@ -19,6 +22,39 @@ func TestForEachCoversAllIndices(t *testing.T) {
 		}
 	}
 	Jobs = 0
+}
+
+// TestForEachPanicSurfacesAsError is the worker-pool robustness
+// contract: a panicking run must not kill the process or deadlock the
+// feeder — it comes back as an error naming the owning slot, every
+// other slot still completes, and the reported slot is the lowest
+// panicking index regardless of worker count.
+func TestForEachPanicSurfacesAsError(t *testing.T) {
+	defer func() { Jobs = 0 }()
+	for _, jobs := range []int{1, 2, 8} {
+		Jobs = jobs
+		var hits [16]int32
+		err := forEach(len(hits), func(i int) {
+			if i == 3 || i == 11 {
+				panic("deliberate scenario failure")
+			}
+			atomic.AddInt32(&hits[i], 1)
+		})
+		if err == nil {
+			t.Fatalf("jobs=%d: panic not surfaced", jobs)
+		}
+		if !strings.Contains(err.Error(), "run 3 panicked") || !strings.Contains(err.Error(), "deliberate scenario failure") {
+			t.Errorf("jobs=%d: error should name the lowest owning slot, got: %v", jobs, err)
+		}
+		for i, h := range hits {
+			if i == 3 || i == 11 {
+				continue
+			}
+			if h != 1 {
+				t.Errorf("jobs=%d: healthy slot %d run %d times after sibling panic", jobs, i, h)
+			}
+		}
+	}
 }
 
 // TestParallelSweepByteStable asserts the -j acceptance contract: a
@@ -29,20 +65,36 @@ func TestForEachCoversAllIndices(t *testing.T) {
 func TestParallelSweepByteStable(t *testing.T) {
 	defer func() { Jobs = 0 }()
 
+	sweep := func(t *testing.T) string {
+		t.Helper()
+		pts, err := SweepDestGap(7, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatDestGap(pts)
+	}
 	Jobs = 1
-	seq := FormatDestGap(SweepDestGap(7, 60_000))
+	seq := sweep(t)
 	Jobs = 8
-	par := FormatDestGap(SweepDestGap(7, 60_000))
+	par := sweep(t)
 	if seq != par {
 		t.Errorf("SweepDestGap output differs between -j 1 and -j 8:\n-- sequential --\n%s\n-- parallel --\n%s", seq, par)
 	}
 
 	cfg := DefaultFigure8Config()
 	cfg.WarmupMS, cfg.MeasureMS = 15_000, 45_000
+	fig8 := func(t *testing.T) string {
+		t.Helper()
+		pts, err := Figure8(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFigure8(pts)
+	}
 	Jobs = 1
-	seq = FormatFigure8(Figure8(cfg))
+	seq = fig8(t)
 	Jobs = 8
-	par = FormatFigure8(Figure8(cfg))
+	par = fig8(t)
 	if seq != par {
 		t.Errorf("Figure8 output differs between -j 1 and -j 8:\n-- sequential --\n%s\n-- parallel --\n%s", seq, par)
 	}

@@ -30,10 +30,10 @@ type HysteresisPoint struct {
 // with varying hysteresis margins. Small margins buy a marginally
 // tighter band at the cost of steeply more migrations; large margins
 // stop balancing entirely.
-func SweepHysteresis(seed uint64, durationMS int64) []HysteresisPoint {
+func SweepHysteresis(seed uint64, durationMS int64) ([]HysteresisPoint, error) {
 	margins := []float64{0, 0.01, 0.03, 0.06, 0.12, 0.25}
 	out := make([]HysteresisPoint, len(margins))
-	forEach(len(margins), func(i int) {
+	err := forEach(len(margins), func(i int) {
 		pol := sched.DefaultConfig()
 		pol.ThermalRatioMargin = margins[i]
 		pol.RQRatioMargin = margins[i]
@@ -60,7 +60,10 @@ func SweepHysteresis(seed uint64, durationMS int64) []HysteresisPoint {
 		}
 		out[i] = HysteresisPoint{MarginRatio: margins[i], Migrations: m.MigrationCount(), SpreadW: hi - lo}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FormatHysteresis renders the sweep.
@@ -89,10 +92,10 @@ type TimeConstantPoint struct {
 // different time constants: the migration period scales with τ, because
 // the trigger is the thermal-power metric crossing the budget and the
 // metric is calibrated to the sink's exponential (§4.3).
-func SweepTimeConstant(seed uint64, durationMS int64) []TimeConstantPoint {
+func SweepTimeConstant(seed uint64, durationMS int64) ([]TimeConstantPoint, error) {
 	taus := []float64{5, 10, 15, 30, 60}
 	out := make([]TimeConstantPoint, len(taus))
-	forEach(len(taus), func(i int) {
+	err := forEach(len(taus), func(i int) {
 		tau := taus[i]
 		props := make([]thermal.Properties, 8)
 		for p := range props {
@@ -117,7 +120,10 @@ func SweepTimeConstant(seed uint64, durationMS int64) []TimeConstantPoint {
 		}
 		out[i] = pt
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FormatTimeConstant renders the sweep.
@@ -147,10 +153,10 @@ type DestGapPoint struct {
 // gap exceeds what a fully cooled package can offer, at which point
 // migration stops entirely and throttling returns. The default (12 W)
 // sits safely inside the flat region.
-func SweepDestGap(seed uint64, durationMS int64) []DestGapPoint {
+func SweepDestGap(seed uint64, durationMS int64) ([]DestGapPoint, error) {
 	gaps := []float64{1, 4, 8, 12, 20, 30, 45}
 	out := make([]DestGapPoint, len(gaps))
-	forEach(len(gaps), func(i int) {
+	err := forEach(len(gaps), func(i int) {
 		pol := sched.DefaultConfig()
 		pol.HotDestGapW = gaps[i]
 		m := newMachine(machine.Config{
@@ -166,7 +172,10 @@ func SweepDestGap(seed uint64, durationMS int64) []DestGapPoint {
 		m.Run(durationMS)
 		out[i] = DestGapPoint{GapW: gaps[i], Migrations: m.MigrationCount(), ThrottledFrac: m.AvgThrottledFrac()}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FormatDestGap renders the sweep.

@@ -436,6 +436,13 @@ func (m *Machine) step(limitMS int64) int64 {
 		}
 		m.pendingActs = m.pendingActs[:0]
 	}
+	// Respawns the sweep queued: every tracker is now current through
+	// the quantum's end tick — the same instant the lockstep loop
+	// reads — so placement picks the same CPU under every engine.
+	for _, prog := range m.respawnQ {
+		m.Spawn(prog)
+	}
+	m.respawnQ = m.respawnQ[:0]
 	liveCores := m.stepCoreList()
 	for _, core32 := range liveCores {
 		core := int(core32)
@@ -749,6 +756,9 @@ func (m *Machine) finishTask(cpu topology.CPUID, ts *taskState, atMS int64) {
 		m.parkDirty = true
 	}
 	if m.Cfg.RespawnFinished {
-		m.Spawn(ts.prog)
+		// Deferred to the end of the execution sweep (step phase 6→7
+		// boundary): placement must read trackers that are uniformly
+		// current, not a mid-sweep mixture (see respawnQ).
+		m.respawnQ = append(m.respawnQ, ts.prog)
 	}
 }

@@ -322,6 +322,33 @@ func engineScenarios() []engineScenario {
 			},
 			runMS: 30_000,
 		},
+		{
+			// Heterogeneous thermal calibration: the two chips have
+			// different time constants (τ = R·C of 15s vs 4s), so the
+			// shared thermal-weight cache is invalid and every engine
+			// must take the per-tracker ThermalWeightFor fallback —
+			// including the fast engines' closed-form settles over
+			// multi-ms quanta. Throttling keeps the weights observable
+			// through trigger timing, not just through temperatures.
+			name: "hetero-thermal",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.CMP2x2(),
+					Sched: sched.DefaultConfig(), Seed: 11,
+					PackageProps: []energyProps{
+						props01(),                      // τ = 15s
+						{R: 0.25, C: 16, AmbientC: 25}, // τ = 4s
+					},
+					PackageMaxPowerW: []float64{95, 80},
+					ThrottleEnabled:  true, Scope: ThrottlePerCore,
+					MonitorPeriodMS: 250,
+				})
+				m.SpawnN(cat.Bitcnts(), 2)
+				m.Spawn(cat.Bzip2())
+				return m
+			},
+			runMS: 45_000,
+		},
 	}
 }
 

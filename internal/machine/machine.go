@@ -384,6 +384,16 @@ type Machine struct {
 	// un-park right after the sweep so activations always land behind
 	// the cursor and never mutate the active list mid-iteration.
 	pendingActs []topology.CPUID
+	// respawnQ holds the programs of tasks that finished during the
+	// execution sweep and are configured to respawn. Placement reads
+	// runqueue power and thermal-power trackers machine-wide, so it
+	// cannot run mid-sweep: CPUs behind the cursor already folded this
+	// quantum into their trackers, CPUs ahead have not, and that
+	// mixture depends on the engine's quantum length — mid-sweep
+	// placement chose engine-dependent CPUs. The queue drains right
+	// after the sweep, when every tracker is current through the
+	// quantum's end tick in every engine.
+	respawnQ []*workload.Program
 	// parkDirty is set whenever a runqueue may have emptied (a task
 	// blocked, finished, or migrated away; a P-state transition
 	// released a held-back CPU), i.e. whenever the park sweep could

@@ -103,6 +103,27 @@ func (s *Scheduler) HotCheck(cpu topology.CPUID) bool {
 	return false
 }
 
+// coolTieRel is the relative margin within which two cores' thermal
+// sums count as tied in the coolest-core ranking. The sums are decayed
+// averages the engines integrate on different partitions of the same
+// history (per-ms, per-quantum, lazily settled), so two cores that have
+// converged to the same steady state — long-idle cores decayed to the
+// idle share — agree only to within a few ulps, and *which* one is an
+// ulp cooler depends on the engine. Ranking on raw floats then picks
+// engine-dependent destinations. Treating sums within this margin as
+// equal lets the deterministic scan order break the tie identically
+// everywhere; genuinely distinct cores differ by far more than 1e-9
+// relative, and the drift (~1e-13 relative) sits far below it.
+const coolTieRel = 1e-9
+
+// coolerThan reports a strictly cooler than b under the tie margin.
+func coolerThan(a, b float64) bool {
+	if math.IsInf(b, 1) {
+		return true
+	}
+	return a < b-coolTieRel*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // coolestCoreExcl returns the coolest physical core of a domain's span
 // other than myCore, with its summed thermal power; (-1, +inf) when no
 // such core exists. Within a deadline epoch the domain's two coolest
@@ -119,7 +140,7 @@ func (s *Scheduler) coolestCoreExcl(dom *topology.Domain, myCore int) (int, floa
 			if int(core) == myCore {
 				continue
 			}
-			if tp := s.coreSum(int(core)); tp < destTP {
+			if tp := s.coreSum(int(core)); coolerThan(tp, destTP) {
 				destCore, destTP = int(core), tp
 			}
 		}
@@ -131,10 +152,10 @@ func (s *Scheduler) coolestCoreExcl(dom *topology.Domain, myCore int) (int, floa
 			tp1: math.Inf(1), tp2: math.Inf(1)}
 		for _, core := range s.domainCores(dom) {
 			tp := s.coreSum(int(core))
-			if tp < e.tp1 {
+			if coolerThan(tp, e.tp1) {
 				e.top2, e.tp2 = e.top1, e.tp1
 				e.top1, e.tp1 = core, tp
-			} else if tp < e.tp2 {
+			} else if coolerThan(tp, e.tp2) {
 				e.top2, e.tp2 = core, tp
 			}
 		}

@@ -227,6 +227,23 @@ func (t *Task) Remaining() float64 {
 	return rem
 }
 
+// workFinishSlackMS pulls the work-completion threshold a hair below
+// WorkMS. doneWork accumulates in segments whose boundaries depend on
+// how the caller partitions wall time into Tick calls, so two engines
+// simulating the same history hold doneWork values an ulp or two
+// apart. With an integer WorkMS and long full-speed stretches the
+// crossing lands exactly on a millisecond boundary, where that ulp
+// decides between "finished this tick" and "finished next tick" — a
+// systematic divergence. Offsetting the threshold by an amount far
+// above the drift (~1e-12 ms) and far below a millisecond moves the
+// knife edge off the aligned boundary; both the finish check and
+// StopHorizonMS use the offset threshold so the batched planner stops
+// quanta at the same crossing the per-ms engine observes.
+const workFinishSlackMS = 1e-7
+
+// workTargetMS is the effective work-completion threshold.
+func (t *Task) workTargetMS() float64 { return t.Prog.WorkMS - workFinishSlackMS }
+
 // RateHorizonMS returns the executed milliseconds until the task's
 // event rates next change (phase transition or noise redraw), possibly
 // +Inf. Within this horizon the task's power is exactly constant, which
@@ -239,13 +256,13 @@ func (t *Task) RateHorizonMS() float64 {
 // executing (block point or work completion), possibly +Inf.
 func (t *Task) StopHorizonMS() float64 {
 	h := t.runLeft
-	if h < 0 {
-		h = 0
-	}
 	if t.Prog.WorkMS > 0 {
-		if wl := t.Prog.WorkMS - t.doneWork; wl < h {
+		if wl := t.workTargetMS() - t.doneWork; wl < h {
 			h = wl
 		}
+	}
+	if h < 0 {
+		h = 0
 	}
 	return h
 }
@@ -365,7 +382,7 @@ func (t *Task) TickInto(res *TickResult, speed, dtMS float64) {
 		res.Counts[i] = total - t.emitted[i]
 		t.emitted[i] = total
 	}
-	if t.Prog.WorkMS > 0 && t.doneWork >= t.Prog.WorkMS {
+	if t.Prog.WorkMS > 0 && t.doneWork >= t.workTargetMS() {
 		res.Status = Finished
 		return
 	}

@@ -89,7 +89,9 @@ func ReproduceFigure7(seed uint64) ThermalTraceResult {
 }
 
 // ReproduceFigure8 regenerates the Fig. 8 workload-homogeneity sweep.
-func ReproduceFigure8(seed uint64) []Figure8Point {
+// It returns an error when one of the parallel runs fails (a recovered
+// worker panic, surfaced on its owning sweep slot).
+func ReproduceFigure8(seed uint64) ([]Figure8Point, error) {
 	cfg := experiments.DefaultFigure8Config()
 	cfg.Seed = seed
 	return experiments.Figure8(cfg)
@@ -101,8 +103,9 @@ func ReproduceFigure9(seed uint64, durationMS int64) Figure9Result {
 	return experiments.Figure9(seed, durationMS)
 }
 
-// ReproduceFigure10 regenerates the Fig. 10 multi-task sweep.
-func ReproduceFigure10(seed uint64) []Figure10Point {
+// ReproduceFigure10 regenerates the Fig. 10 multi-task sweep. It
+// returns an error when one of the parallel runs fails.
+func ReproduceFigure10(seed uint64) ([]Figure10Point, error) {
 	cfg := experiments.DefaultFigure10Config()
 	cfg.Seed = seed
 	return experiments.Figure10(cfg)
@@ -115,8 +118,9 @@ func ReproduceHotTaskSpeedup(seed uint64, budgetW float64) HotTaskSpeedupResult 
 }
 
 // ReproduceMigrationCounts regenerates the §6.1 migration counts over
-// durationMS milliseconds per run (the paper uses 15 minutes).
-func ReproduceMigrationCounts(seed uint64, durationMS int64) MigrationCountsResult {
+// durationMS milliseconds per run (the paper uses 15 minutes). It
+// returns an error when one of the parallel runs fails.
+func ReproduceMigrationCounts(seed uint64, durationMS int64) (MigrationCountsResult, error) {
 	return experiments.MigrationCounts(seed, durationMS)
 }
 
