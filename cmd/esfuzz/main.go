@@ -29,6 +29,7 @@ func main() {
 		corpus = flag.String("corpus", "", "directory to write minimized failures to (implies -shrink)")
 		maxF   = flag.Int("maxfail", 10, "stop after this many failures")
 		quiet  = flag.Bool("q", false, "only report failures and the summary")
+		faulty = flag.Bool("faults", false, "force a fault-injection schedule onto every scenario")
 	)
 	flag.Parse()
 	if *corpus != "" {
@@ -40,6 +41,9 @@ func main() {
 	var costMS int64
 	for i := 0; i < *n && fails < *maxF; i++ {
 		s := fuzz.Generate(*seed + uint64(i))
+		if *faulty {
+			fuzz.EnsureFaults(&s)
+		}
 		checked++
 		costMS += s.CostMS()
 		f := fuzz.Check(s)

@@ -24,6 +24,8 @@
 //	units       §7 functional-unit (multiple-temperature) extension
 //	dvfs        DVFS governors vs hlt throttling: energy, makespan,
 //	            peak temperature, halted vs downclocked fractions
+//	misestimate estimator mis-calibration ablation: trusting bad
+//	            weights blindly vs recalibration vs fallback throttling
 //	sweeps      sensitivity sweeps for the unpublished tuning constants
 //	cmp         §7 chip-multiprocessor extension
 //	all         everything above, full length
@@ -81,7 +83,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] [-governor G] [-j N] <experiment>")
-	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units dvfs sweeps all")
+	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units dvfs misestimate sweeps all")
 }
 
 type runner struct {
@@ -249,6 +251,11 @@ func (r runner) run(cmd string) bool {
 		}
 		cfg.Governors = govs
 		fmt.Print(experiments.FormatDVFSComparison(experiments.DVFSvsThrottle(cfg)))
+	case "misestimate":
+		cfg := experiments.DefaultMisestimateConfig()
+		cfg.Seed = r.seed
+		cfg.WorkMS = float64(r.scale(int64(cfg.WorkMS)))
+		fmt.Print(experiments.FormatMisestimate(experiments.Misestimate(cfg)))
 	case "sweeps":
 		hyst, err := experiments.SweepHysteresis(r.seed, r.scale(300000))
 		if err != nil {
@@ -268,7 +275,7 @@ func (r runner) run(cmd string) bool {
 		}
 		fmt.Print(experiments.FormatDestGap(gaps))
 	case "all":
-		for _, c := range []string{"table1", "table2", "table3", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "hotspeed", "migrations", "ablation", "cmp", "policies", "units", "dvfs", "sweeps"} {
+		for _, c := range []string{"table1", "table2", "table3", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "hotspeed", "migrations", "ablation", "cmp", "policies", "units", "dvfs", "misestimate", "sweeps"} {
 			fmt.Printf("==== %s ====\n", c)
 			r.run(c)
 			fmt.Println()

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	estrace [-scenario hottask|mixed|cmp|dvfs] [-engine lockstep|batched|async]
+//	estrace [-scenario hottask|mixed|cmp|dvfs|faults] [-engine lockstep|batched|async]
 //	        [-governor performance|ondemand|thermal]
 //	        [-duration 60s] [-seed N] [-format csv|jsonl]
 package main
@@ -20,6 +20,7 @@ import (
 
 	"energysched/internal/dvfs"
 	"energysched/internal/experiments"
+	"energysched/internal/faults"
 	"energysched/internal/machine"
 	"energysched/internal/sched"
 	"energysched/internal/thermal"
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "hottask", "scenario: hottask, mixed, cmp, or dvfs")
+	scenario := flag.String("scenario", "hottask", "scenario: hottask, mixed, cmp, dvfs, or faults")
 	duration := flag.Duration("duration", 60*time.Second, "simulated duration")
 	seed := flag.Uint64("seed", 7, "random seed")
 	format := flag.String("format", "csv", "output format: csv or jsonl")
@@ -157,6 +158,45 @@ func build(name string, seed uint64, rec *trace.Recorder, engine machine.Engine,
 		m.SpawnN(cat.Bash(), 2)
 		m.SpawnN(cat.Sshd(), 2)
 		return m, nil
+	case "faults":
+		// The robustness loop end to end: under-reporting drifting
+		// weights on the hot-task machine, online recalibration from
+		// the (noisy, occasionally dropped) thermal diode, and the
+		// fallback armed — drift/recal/fallback_on/fallback_off events
+		// land in the trace alongside the throttle transitions they
+		// cause.
+		m, err := machine.New(machine.Config{
+			Engine:           engine,
+			Layout:           topology.XSeries445NoSMT(),
+			Sched:            sched.DefaultConfig(),
+			Seed:             seed,
+			PackageProps:     uniform(8, 0.2),
+			PackageMaxPowerW: []float64{40},
+			ThrottleEnabled:  true,
+			Scope:            machine.ThrottlePerPackage,
+			Trace:            rec,
+			Faults: &faults.Spec{
+				WeightScale:       []float64{0.7},
+				DriftPeriodMS:     2000,
+				DriftFactor:       []float64{0.97},
+				DriftSteps:        10,
+				RecalPeriodMS:     250,
+				RecalRate:         0.2,
+				RecalWarmup:       1,
+				DiodeNoiseC:       0.3,
+				SampleDropP:       0.1,
+				FallbackResidualW: 25,
+				FallbackAfter:     3,
+				FallbackRecovery:  4,
+				FallbackScale:     0.5,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.SpawnN(cat.Bitcnts(), 4)
+		m.SpawnN(cat.Sshd(), 2)
+		return m, nil
 	}
-	return nil, fmt.Errorf("unknown scenario %q (want hottask, mixed, cmp, or dvfs)", name)
+	return nil, fmt.Errorf("unknown scenario %q (want hottask, mixed, cmp, dvfs, or faults)", name)
 }

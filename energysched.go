@@ -35,6 +35,7 @@ import (
 	"energysched/internal/counters"
 	"energysched/internal/dvfs"
 	"energysched/internal/energy"
+	"energysched/internal/faults"
 	"energysched/internal/machine"
 	"energysched/internal/rng"
 	"energysched/internal/sched"
@@ -80,6 +81,11 @@ type (
 	// PState is one frequency/voltage operating point of a DVFS
 	// ladder.
 	PState = dvfs.PState
+	// FaultSpec is a JSON-serializable fault-injection schedule:
+	// estimator mis-calibration and drift, thermal-diode sensor faults,
+	// and the online recalibration/fallback loop; see Options.Faults
+	// and internal/faults.
+	FaultSpec = faults.Spec
 )
 
 // Policy selects a scheduling policy preset.
@@ -186,6 +192,10 @@ type Options struct {
 	// Trace, when non-nil, records scheduler-level events of the run;
 	// export them with TraceRecorder.WriteCSV / WriteJSONL.
 	Trace *TraceRecorder
+
+	// Faults, when non-nil, injects estimator and thermal-sensor faults
+	// and runs the online recalibration/fallback loop; see FaultSpec.
+	Faults *FaultSpec
 }
 
 // System is a simulated multiprocessor machine running the energy-aware
@@ -248,6 +258,7 @@ func New(opt Options) (*System, error) {
 		MonitorPeriodMS:  int(opt.MonitorPeriod / time.Millisecond),
 		RespawnFinished:  opt.RespawnFinished,
 		Trace:            opt.Trace,
+		Faults:           opt.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -381,4 +392,34 @@ const (
 	TraceFinish      = trace.Finish
 	TraceSpawn       = trace.Spawn
 	TracePState      = trace.PState
+	TraceDrift       = trace.Drift
+	TraceRecal       = trace.Recal
+	TraceFallbackOn  = trace.FallbackOn
+	TraceFallbackOff = trace.FallbackOff
 )
+
+// FaultMetrics are the observables of the fault-injection loop.
+type FaultMetrics struct {
+	// EstimationErrJ is the integrated |estimated − true| energy over
+	// the busy execution path since the last ResetStats.
+	EstimationErrJ float64
+	// ResidualW is the latest thermal-diode residual (sensed minus
+	// modeled machine power).
+	ResidualW float64
+	// RecalibrationCount counts online weight adaptations.
+	RecalibrationCount int64
+	// FallbackTicks counts simulated milliseconds spent under the
+	// conservative fallback throttle limits.
+	FallbackTicks int64
+}
+
+// FaultMetrics returns the fault-injection observables (all zero when
+// Options.Faults was nil).
+func (s *System) FaultMetrics() FaultMetrics {
+	return FaultMetrics{
+		EstimationErrJ:     s.m.EstimationErrJ,
+		ResidualW:          s.m.ResidualW,
+		RecalibrationCount: s.m.RecalibrationCount,
+		FallbackTicks:      s.m.FallbackTicks,
+	}
+}

@@ -133,6 +133,17 @@ func (r Rates) Add(s Rates) Rates {
 	return r
 }
 
+// IsZero reports whether every rate is zero — a phase that emits no
+// events at all, which a calibration set must reject.
+func (r Rates) IsZero() bool {
+	for _, v := range r {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Counts converts the rates to integer event counts for dt milliseconds
 // of execution, rounding each component to the nearest integer.
 func (r Rates) Counts(dt float64) Counts {

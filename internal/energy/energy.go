@@ -29,6 +29,7 @@ package energy
 
 import (
 	"fmt"
+	"math"
 
 	"energysched/internal/counters"
 	"energysched/internal/linalg"
@@ -158,13 +159,25 @@ type Multimeter struct {
 	rng       *rng.Source
 }
 
-// NewMultimeter creates a meter with the given relative noise.
+// NewMultimeter creates a meter with the given relative noise. A
+// negative noiseFrac is meaningless (sigma is a magnitude) and is
+// clamped to zero: the meter becomes exact.
 func NewMultimeter(noiseFrac float64, r *rng.Source) *Multimeter {
+	if noiseFrac < 0 {
+		noiseFrac = 0
+	}
 	return &Multimeter{NoiseFrac: noiseFrac, rng: r}
 }
 
-// Measure returns trueJoules perturbed by instrument noise.
+// Measure returns trueJoules perturbed by instrument noise. An exact
+// meter (NoiseFrac 0, or no rng attached) passes the value through
+// without consuming an RNG draw, so calibration runs that share a
+// Source with other components stay deterministic when noise is
+// switched off.
 func (mm *Multimeter) Measure(trueJoules float64) float64 {
+	if mm.NoiseFrac <= 0 || mm.rng == nil {
+		return trueJoules
+	}
 	return trueJoules * (1 + mm.NoiseFrac*mm.rng.NormFloat64())
 }
 
@@ -269,6 +282,29 @@ func Calibrate(m *TrueModel, meter *Multimeter, apps []counters.Rates, cfg Calib
 	if rows < int(counters.NumEvents) {
 		return nil, fmt.Errorf("energy: %d measurement windows cannot determine %d weights", rows, counters.NumEvents)
 	}
+	// An app that emits no events contributes all-zero rows: its windows
+	// measure nothing and only dilute the fit. Name the app rather than
+	// letting the solver report a bare singular matrix (or, with enough
+	// other apps, silently absorb the dead rows).
+	var exercised [counters.NumEvents]bool
+	for ai, rates := range apps {
+		if rates.IsZero() {
+			return nil, fmt.Errorf("energy: calibration app %d has all-zero counter rates", ai)
+		}
+		for i, v := range rates {
+			if v > 0 {
+				exercised[i] = true
+			}
+		}
+	}
+	// An event class no app exercises makes that weight's column
+	// identically zero — the weight is unidentifiable. Report which
+	// event is missing instead of a generic rank-deficiency error.
+	for i, ok := range exercised {
+		if !ok {
+			return nil, fmt.Errorf("energy: calibration set never exercises %v; its weight is unidentifiable", counters.Event(i))
+		}
+	}
 	a := linalg.NewMatrix(rows, int(counters.NumEvents))
 	b := make([]float64, rows)
 	row := 0
@@ -297,7 +333,13 @@ func Calibrate(m *TrueModel, meter *Multimeter, apps []counters.Rates, cfg Calib
 	}
 	w, err := linalg.LeastSquares(a, b)
 	if err != nil {
-		return nil, fmt.Errorf("energy: calibration solve failed: %w", err)
+		return nil, fmt.Errorf("energy: calibration matrix is rank-deficient (%d apps × %d windows do not span the %d event classes with independent signatures): %w",
+			len(apps), cfg.WindowsPerApp, counters.NumEvents, err)
+	}
+	for i, wi := range w {
+		if math.IsNaN(wi) || math.IsInf(wi, 0) {
+			return nil, fmt.Errorf("energy: calibration produced a non-finite weight for %v", counters.Event(i))
+		}
 	}
 	est := &Estimator{HaltPower: m.HaltPower}
 	copy(est.Weights[:], w)

@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -200,6 +201,71 @@ func TestCalibrateErrors(t *testing.T) {
 	cfg = CalibrationConfig{WindowMS: 100, WindowsPerApp: 2, RateJitterFrac: 0}
 	if _, err := Calibrate(m, meter, same, cfg, r.Split()); err == nil {
 		t.Error("rank-deficient calibration should error")
+	}
+}
+
+// Regression: degenerate calibration inputs must produce descriptive
+// errors, not a garbage fit or a panic.
+func TestCalibrateDegenerateInputs(t *testing.T) {
+	m := DefaultTrueModel()
+	r := rng.New(9)
+	meter := NewMultimeter(0.02, r.Split())
+	cfg := DefaultCalibrationConfig()
+	good := calibrationApps(m)
+
+	// One app with all-zero rates: the error names the app.
+	apps := append(append([]counters.Rates{}, good...), counters.Rates{})
+	_, err := Calibrate(m, meter, apps, cfg, r.Split())
+	if err == nil || !strings.Contains(err.Error(), "all-zero counter rates") {
+		t.Errorf("all-zero app: want descriptive error, got %v", err)
+	}
+
+	// No app exercises FPOps: the error names the missing event class.
+	apps = append([]counters.Rates{}, good...)
+	for i := range apps {
+		apps[i][counters.FPOps] = 0
+	}
+	_, err = Calibrate(m, meter, apps, cfg, r.Split())
+	if err == nil || !strings.Contains(err.Error(), "fp_ops") {
+		t.Errorf("unexercised event class: want error naming fp_ops, got %v", err)
+	}
+
+	// Rank-deficient (identical signatures, no jitter): the error says
+	// so instead of reporting a bare solver failure. good[5] exercises
+	// every event class, so this passes the coverage pre-checks and
+	// reaches the solver.
+	same := []counters.Rates{good[5], good[5], good[5], good[5], good[5], good[5], good[5]}
+	_, err = Calibrate(m, meter, same, CalibrationConfig{WindowMS: 100, WindowsPerApp: 2, RateJitterFrac: 0}, r.Split())
+	if err == nil || !strings.Contains(err.Error(), "rank-deficient") {
+		t.Errorf("rank-deficient set: want descriptive error, got %v", err)
+	}
+}
+
+// Regression: a negative noiseFrac clamps to an exact meter, and an
+// exact meter is a pure passthrough that consumes no RNG draw — the
+// shared Source's stream is identical to one the meter never touched.
+func TestMultimeterExactIsDrawFree(t *testing.T) {
+	if mm := NewMultimeter(-0.5, rng.New(1)); mm.NoiseFrac != 0 {
+		t.Fatalf("negative noiseFrac: got NoiseFrac %v, want 0", mm.NoiseFrac)
+	}
+	const seed = 42
+	shared := rng.New(seed)
+	mm := NewMultimeter(0, shared)
+	for i := 0; i < 5; i++ {
+		j := 10.0 + float64(i)
+		if got := mm.Measure(j); got != j {
+			t.Fatalf("exact meter: Measure(%v) = %v, want exact passthrough", j, got)
+		}
+	}
+	virgin := rng.New(seed)
+	for i := 0; i < 8; i++ {
+		if a, b := shared.Uint64(), virgin.Uint64(); a != b {
+			t.Fatalf("draw %d: exact meter consumed RNG draws (%d != %d)", i, a, b)
+		}
+	}
+	// A nil-rng meter is also exact rather than panicking.
+	if got := NewMultimeter(0.02, nil).Measure(7); got != 7 {
+		t.Fatalf("nil-rng meter: got %v, want 7", got)
 	}
 }
 

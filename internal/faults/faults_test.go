@@ -1,0 +1,245 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"energysched/internal/counters"
+	"energysched/internal/energy"
+	"energysched/internal/thermal"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := &Spec{
+		WeightScale:       []float64{0.5},
+		WeightOffset:      []float64{0, 1e-9, 0, 0, 0, 0},
+		DriftPeriodMS:     500,
+		DriftFactor:       []float64{0.9},
+		DriftSteps:        4,
+		RecalPeriodMS:     250,
+		RecalRate:         0.2,
+		RecalWarmup:       2,
+		DiodeNoiseC:       0.3,
+		DiodeStuckAfterMS: 4000,
+		SampleDropP:       0.1,
+		SampleDelay:       2,
+		FallbackResidualW: 10,
+		FallbackAfter:     3,
+		FallbackScale:     0.7,
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, got) {
+		t.Fatalf("round trip: %+v != %+v", got, *s)
+	}
+	// The zero spec marshals to an empty object: corpus entries without
+	// faults stay byte-identical to the pre-fault format.
+	b, err = json.Marshal(&Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero spec marshals to %s", b)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Spec{
+		{WeightScale: []float64{1, 1}},                   // bad vector length
+		{WeightScale: []float64{-1}},                     // negative scale
+		{DriftPeriodMS: 100},                             // period without factors
+		{DriftPeriodMS: -1},                              // negative period
+		{DriftPeriodMS: 100, DriftFactor: []float64{-2}}, // negative factor
+		{RecalRate: 0.1},                                 // recal without a window
+		{FallbackResidualW: 5},                           // fallback without a window
+		{DiodeNoiseC: 0.5},                               // sensor fault without a window
+		{RecalPeriodMS: 100, RecalRate: 2},               // rate out of range
+		{RecalPeriodMS: 100, SampleDropP: 1},             // certain drop
+		{RecalPeriodMS: 100, SampleDelay: 100},           // delay out of range
+		{RecalPeriodMS: 100, FallbackScale: 1.5},         // scale out of range
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v): want error, got nil", i, s)
+		}
+	}
+	ok := Spec{WeightScale: []float64{0.8}, RecalPeriodMS: 100, RecalRate: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (*Spec)(nil).Validate(); err != nil {
+		t.Errorf("nil spec rejected: %v", err)
+	}
+}
+
+func TestMiscalibrateAndDrift(t *testing.T) {
+	in, err := NewInjector(Spec{
+		WeightScale:   []float64{2},
+		WeightOffset:  []float64{-1, 0, 0, 0, 0, 0},
+		DriftPeriodMS: 100,
+		DriftFactor:   []float64{0.5},
+		DriftSteps:    2,
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := energy.Weights{0.25, 1, 1, 1, 1, 1}
+	in.Miscalibrate(&w)
+	// 0.25·2 − 1 = −0.5 clamps to 0; the rest double.
+	want := energy.Weights{0, 2, 2, 2, 2, 2}
+	if w != want {
+		t.Fatalf("miscalibrate: %v != %v", w, want)
+	}
+	if got := in.NextDriftMS(); got != 100 {
+		t.Fatalf("first drift at %d, want 100", got)
+	}
+	in.ApplyDrift(&w)
+	if got := in.NextDriftMS(); got != 200 {
+		t.Fatalf("second drift at %d, want 200", got)
+	}
+	in.ApplyDrift(&w)
+	if got := in.NextDriftMS(); got != -1 {
+		t.Fatalf("drift steps exhausted, next = %d, want -1", got)
+	}
+	want = energy.Weights{0, 0.5, 0.5, 0.5, 0.5, 0.5}
+	if w != want {
+		t.Fatalf("after drift: %v != %v", w, want)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Spec{
+		RecalPeriodMS: 100,
+		DiodeNoiseC:   0.4,
+		SampleDropP:   0.3,
+	}
+	props := thermal.Properties{R: 0.2, C: 75, AmbientC: 25}
+	run := func() []float64 {
+		in, err := NewInjector(spec, 7, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		var w energy.Weights
+		for i := 0; i < 50; i++ {
+			now := int64(i+1) * 100
+			dropped := in.BeginWindow(now)
+			sensed := 0.0
+			if !dropped {
+				sensed = in.SensePackage(31.7, props) + in.SensePackage(28.2, props)
+			}
+			res := in.FinishWindow(dropped, sensed, 30, counters.Frac{}, 0.1, 0.05, &w)
+			if !res.Dropped {
+				out = append(out, res.ResidualW)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if len(a) == 50 {
+		t.Fatalf("drop probability 0.3 dropped nothing in 50 windows")
+	}
+}
+
+func TestFallbackStateMachine(t *testing.T) {
+	in, err := NewInjector(Spec{
+		RecalPeriodMS:     100,
+		FallbackResidualW: 10,
+		FallbackAfter:     2,
+		FallbackRecovery:  3,
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w energy.Weights
+	window := func(resid float64) WindowResult {
+		in.BeginWindow(0)
+		// modelW stays 0 with filterW 0, so sensed == residual.
+		return in.FinishWindow(false, resid, 0, counters.Frac{}, 0.1, 0, &w)
+	}
+	if r := window(20); r.Fallback || r.FallbackChanged {
+		t.Fatalf("one bad window engaged: %+v", r)
+	}
+	r := window(20)
+	if !r.Fallback || !r.FallbackChanged {
+		t.Fatalf("two bad windows did not engage: %+v", r)
+	}
+	// Two good windows are not enough to release with recovery 3.
+	window(1)
+	if r = window(1); r.FallbackChanged {
+		t.Fatalf("released after 2 good windows: %+v", r)
+	}
+	if r = window(1); !r.FallbackChanged || r.Fallback {
+		t.Fatalf("not released after 3 good windows: %+v", r)
+	}
+}
+
+func TestStuckDiode(t *testing.T) {
+	in, err := NewInjector(Spec{
+		RecalPeriodMS:     100,
+		DiodeStuckAfterMS: 250,
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := thermal.Properties{R: 0.2, C: 75, AmbientC: 25}
+	read := func(now int64, temp float64) float64 {
+		if in.BeginWindow(now) {
+			t.Fatalf("unexpected drop")
+		}
+		return in.SensePackage(temp, props)
+	}
+	p1 := read(100, 31)
+	p2 := read(200, 37)
+	if p1 == p2 {
+		t.Fatalf("live diode did not track the temperature")
+	}
+	stuck := read(300, 45) // past DiodeStuckAfterMS: frozen at the 37 °C read
+	if stuck != p2 {
+		t.Fatalf("stuck diode moved: %v != %v", stuck, p2)
+	}
+	if again := read(400, 25); again != p2 {
+		t.Fatalf("stuck diode moved later: %v != %v", again, p2)
+	}
+}
+
+func TestRecalibrationConverges(t *testing.T) {
+	// A single active event class with a halved weight: NLMS on the
+	// residual must recover the true weight.
+	in, err := NewInjector(Spec{
+		RecalPeriodMS: 100,
+		RecalRate:     0.5,
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trueW = 2e-8
+	w := energy.Weights{}
+	w[counters.UopsRetired] = trueW / 2
+	var x counters.Frac
+	x[counters.UopsRetired] = 1e9 // events per window
+	for i := 0; i < 200; i++ {
+		in.BeginWindow(int64(i+1) * 100)
+		trueWinW := trueW * x[counters.UopsRetired] / 0.1
+		modelWinW := w[counters.UopsRetired] * x[counters.UopsRetired] / 0.1
+		// filterW 1: no thermal lag in this idealized check.
+		res := in.FinishWindow(false, trueWinW, modelWinW, x, 0.1, 1, &w)
+		if !res.HasResidual {
+			t.Fatalf("window %d: no residual", i)
+		}
+	}
+	got := w[counters.UopsRetired]
+	if d := got/trueW - 1; d > 0.01 || d < -0.01 {
+		t.Fatalf("recalibrated weight %v not within 1%% of %v", got, trueW)
+	}
+}

@@ -3,6 +3,8 @@ package fuzz
 import (
 	"fmt"
 
+	"energysched/internal/counters"
+	"energysched/internal/faults"
 	"energysched/internal/rng"
 )
 
@@ -217,7 +219,80 @@ func Generate(seed uint64) Spec {
 	// Jitter ±30% so monitor/deadline periods land on varied residues.
 	s.RunMS = runMS - int64(float64(runMS)*0.3*r.Float64())
 	s.Chunks = 1 + r.Intn(4)
+
+	// Fault injection: mis-calibrated/drifting estimator weights and a
+	// faulty thermal diode feeding the recalibration/fallback loop.
+	// Drawn last so pre-fault seeds keep their exact scenarios.
+	if r.Bool(0.35) {
+		s.Faults = genFaults(r)
+	}
 	return s
+}
+
+// genFaults draws a fault schedule. Always valid: every sensor/recal
+// field rides on a residual window, and thresholds stay away from the
+// degenerate edges Validate rejects.
+func genFaults(r *rng.Source) *faults.Spec {
+	f := &faults.Spec{
+		// Sensor faults and the recal/fallback loop only act through
+		// the residual window, so a generated schedule always has one.
+		RecalPeriodMS: []int64{100, 250, 500, 1000}[r.Intn(4)],
+	}
+	if r.Bool(0.6) {
+		f.WeightScale = make([]float64, counters.NumEvents)
+		for i := range f.WeightScale {
+			f.WeightScale[i] = round3(0.5 + r.Float64())
+		}
+	}
+	if r.Bool(0.4) {
+		f.DriftPeriodMS = []int64{250, 500, 1000, 2000}[r.Intn(4)]
+		n := 1
+		if r.Bool(0.5) {
+			n = int(counters.NumEvents)
+		}
+		f.DriftFactor = make([]float64, n)
+		for i := range f.DriftFactor {
+			f.DriftFactor[i] = round3(0.9 + 0.2*r.Float64())
+		}
+		f.DriftSteps = r.Intn(8)
+	}
+	if r.Bool(0.5) {
+		f.DiodeNoiseC = round3(0.5 * r.Float64())
+	}
+	if r.Bool(0.25) {
+		f.DiodeResolutionC = []float64{0.5, 2}[r.Intn(2)]
+	}
+	if r.Bool(0.3) {
+		f.DiodeStuckAfterMS = int64(500 + r.Intn(4000))
+	}
+	if r.Bool(0.3) {
+		f.SampleDropP = round3(0.3 * r.Float64())
+	}
+	if r.Bool(0.3) {
+		f.SampleDelay = 1 + r.Intn(3)
+	}
+	if r.Bool(0.6) {
+		f.RecalRate = round3(0.05 + 0.25*r.Float64())
+		f.RecalWarmup = r.Intn(3)
+	}
+	if r.Bool(0.4) {
+		f.FallbackResidualW = round3(5 + 40*r.Float64())
+		f.FallbackAfter = 1 + r.Intn(4)
+		f.FallbackRecovery = 2 + r.Intn(4)
+		f.FallbackScale = round3(0.6 + 0.3*r.Float64())
+	}
+	return f
+}
+
+// EnsureFaults forces a fault schedule onto a generated spec (the CI
+// fault-smoke mode, esfuzz -faults): scenarios that already drew one
+// keep it; the rest get a deterministic schedule derived from the
+// spec's seed, so the run stays reproducible.
+func EnsureFaults(s *Spec) {
+	if s.Faults != nil {
+		return
+	}
+	s.Faults = genFaults(rng.New(s.Seed ^ 0xfa170))
 }
 
 func (s Spec) hasFiniteWork() bool {

@@ -20,6 +20,7 @@ import (
 
 	"energysched/internal/dvfs"
 	"energysched/internal/energy"
+	"energysched/internal/faults"
 	"energysched/internal/machine"
 	"energysched/internal/sched"
 	"energysched/internal/thermal"
@@ -119,6 +120,12 @@ type Spec struct {
 	// (plus a remainder), exercising Run-boundary clamping and the
 	// async engine's end-of-Run settling. ≤ 1 means one call.
 	Chunks int `json:"chunks,omitempty"`
+
+	// Faults injects estimator mis-calibration/drift, thermal-diode
+	// sensor faults, and the recalibration/fallback loop — all
+	// deterministic from Seed, so the oracle cross-checks the fault
+	// paths across engines like any other machine state.
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 // scopeOf maps the spec's scope name; empty defaults to "logical".
@@ -181,6 +188,7 @@ func (s Spec) machineConfig(e machine.Engine) (machine.Config, error) {
 		UnitLimitC:      s.UnitLimitC,
 		RespawnFinished: s.Respawn,
 		MonitorPeriodMS: s.MonitorPeriodMS,
+		Faults:          s.Faults,
 	}
 	if len(s.Packages) > 0 {
 		cfg.PackageProps = make([]thermal.Properties, len(s.Packages))

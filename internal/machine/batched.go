@@ -77,6 +77,24 @@ func (m *Machine) planQuantum(limit int64) int64 {
 		}
 	}
 
+	// Fault-injection horizons: the residual-window boundary is an
+	// end-of-tick event like a monitor sample, and the next weight
+	// drift a start-of-tick event like a wake-up. Both must bound the
+	// quantum even on an otherwise event-free machine (where the cap is
+	// effectively unbounded).
+	if m.faults != nil {
+		if p := m.recalPeriod; p > 0 {
+			if r := now % p; r == 0 {
+				clamp(1)
+			} else {
+				clamp(p - r + 1)
+			}
+		}
+		if d := m.faults.NextDriftMS(); d >= 0 {
+			clamp(d - now)
+		}
+	}
+
 	// Earliest sleeper wake-up (a start-of-tick event: the quantum must
 	// end before it). Both planning engines keep wake events on a
 	// binary heap, so the horizon is a peek instead of a scan over the

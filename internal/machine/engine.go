@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"math"
+
 	"energysched/internal/counters"
 	"energysched/internal/sched"
 	"energysched/internal/topology"
@@ -102,6 +104,16 @@ func (m *Machine) step(limitMS int64) int64 {
 			m.PStateSwitches++
 			m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.PState, TaskID: -1,
 				CPU: c, From: old, Detail: m.psLabels[idx]})
+		}
+	}
+
+	// 1c. Estimator weight drift — a start-of-tick fault event, like a
+	// P-state transition: the drifted weights hold for the whole
+	// quantum (the planner never lets a drift instant fall inside one).
+	if m.faults != nil {
+		for d := m.faults.NextDriftMS(); d >= 0 && d <= m.nowMS; d = m.faults.NextDriftMS() {
+			m.faults.ApplyDrift(&m.Est.Weights)
+			m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Drift, TaskID: -1, CPU: -1, From: -1})
 		}
 	}
 
@@ -288,6 +300,9 @@ func (m *Machine) step(limitMS int64) int64 {
 			m.haltedTicks[c] += dt
 		}
 	}
+	if m.fallbackOn {
+		m.FallbackTicks += dt
+	}
 	if m.dvfsOn {
 		// Downclocked occupancy — the DVFS counterpart of haltedTicks:
 		// ticks an occupied CPU actually ran below the nominal
@@ -385,6 +400,11 @@ func (m *Machine) step(limitMS int64) int64 {
 			}
 		}
 		estJ := m.Est.EnergyJExact(tickRes.Exact, 0) * ps
+		// Within a quantum the event rates are constant, so the sign of
+		// the per-event estimation error is too: |est−true| integrated
+		// per quantum equals the per-millisecond integral, keeping the
+		// metric partition-invariant across engines.
+		m.EstimationErrJ += math.Abs(estJ - trueJ)
 		m.Sched.Power[c].AddEnergyWeighted(estJ, fdt, quantW)
 		if m.dvfsOn {
 			// The kernel knows its own P-state residency, so per-
@@ -552,6 +572,14 @@ func (m *Machine) step(limitMS int64) int64 {
 				m.governorEval(c, endMS)
 			}
 		}
+	}
+
+	// 8c. Residual window of the fault-injection loop — an end-of-tick
+	// event on the same footing as a monitor sample: the batched
+	// planner aligns quantum ends to the window boundary, and the async
+	// engine settles parked state to the window instant first.
+	if p := m.recalPeriod; p > 0 && endMS%p == 0 {
+		m.recalWindow(endMS)
 	}
 
 	// 9. Metric sampling (the async engine settles deferred state

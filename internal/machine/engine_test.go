@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"energysched/internal/dvfs"
+	"energysched/internal/faults"
 	"energysched/internal/sched"
 	"energysched/internal/topology"
 	"energysched/internal/trace"
@@ -349,6 +350,73 @@ func engineScenarios() []engineScenario {
 			},
 			runMS: 45_000,
 		},
+		{
+			// Fault injection: mis-calibrated weights drifting further
+			// down while the online recalibrator pulls them back from a
+			// noisy, occasionally-dropped, one-window-delayed diode.
+			// Exercises the drift and residual-window planner horizons
+			// and the recal path's cross-engine determinism.
+			name: "faults-drift-recal",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.XSeries445NoSMT(),
+					Sched: sched.DefaultConfig(), Seed: 7,
+					PackageMaxPowerW: []float64{50},
+					ThrottleEnabled:  true, Scope: ThrottlePerPackage,
+					MonitorPeriodMS: 500,
+					RespawnFinished: true,
+					Faults: &faults.Spec{
+						WeightScale:   []float64{0.7},
+						DriftPeriodMS: 400,
+						DriftFactor:   []float64{0.95},
+						DriftSteps:    6,
+						RecalPeriodMS: 250,
+						RecalRate:     0.2,
+						RecalWarmup:   1,
+						DiodeNoiseC:   0.3,
+						SampleDropP:   0.15,
+						SampleDelay:   1,
+					},
+				})
+				m.SpawnN(workload.WithWork(cat.Bitcnts(), 2500), 5)
+				m.SpawnN(workload.WithWork(cat.Memrw(), 2500), 4)
+				return m
+			},
+			runMS: 30_000,
+		},
+		{
+			// Fault injection: a grossly under-estimating model (half
+			// weights, never recalibrated) with a diode that freezes
+			// mid-run. The divergence detector must engage the fallback
+			// limits identically across engines — including the async
+			// engine's dormant-group wake on the limit change.
+			name: "faults-fallback-stuck",
+			build: func(e Engine) *Machine {
+				m := MustNew(Config{
+					Engine: e, Layout: topology.CMP2x2(),
+					Sched: sched.DefaultConfig(), Seed: 13,
+					PackageProps:     []energyProps{props01(), props01()},
+					PackageMaxPowerW: []float64{90, 90},
+					ThrottleEnabled:  true, Scope: ThrottlePerCore,
+					MonitorPeriodMS: 1000,
+					Faults: &faults.Spec{
+						WeightScale:       []float64{0.5},
+						RecalPeriodMS:     200,
+						FallbackResidualW: 12,
+						FallbackAfter:     2,
+						FallbackRecovery:  4,
+						FallbackScale:     0.6,
+						DiodeStuckAfterMS: 6000,
+						DiodeResolutionC:  0.5,
+					},
+				})
+				m.SpawnN(cat.Bitcnts(), 3)
+				m.SpawnN(cat.Sshd(), 2)
+				m.Spawn(cat.Bzip2())
+				return m
+			},
+			runMS: 20_000,
+		},
 	}
 }
 
@@ -479,6 +547,18 @@ func assertEquivalent(t *testing.T, lock, bat *Machine) {
 	}
 	if d := relDiff(lock.TrueEnergyJ, bat.TrueEnergyJ); d > tol {
 		t.Errorf("true energy rel diff %.2e (%.6f vs %.6f)", d, lock.TrueEnergyJ, bat.TrueEnergyJ)
+	}
+	if d := relDiff(lock.EstimationErrJ, bat.EstimationErrJ); d > tol {
+		t.Errorf("estimation err rel diff %.2e (%.6f vs %.6f)", d, lock.EstimationErrJ, bat.EstimationErrJ)
+	}
+	if d := relDiff(lock.ResidualW, bat.ResidualW); d > tol {
+		t.Errorf("residual rel diff %.2e (%.9f vs %.9f)", d, lock.ResidualW, bat.ResidualW)
+	}
+	if lock.RecalibrationCount != bat.RecalibrationCount {
+		t.Errorf("recalibrations: %d vs %d", lock.RecalibrationCount, bat.RecalibrationCount)
+	}
+	if lock.FallbackTicks != bat.FallbackTicks {
+		t.Errorf("fallback ticks: %d vs %d", lock.FallbackTicks, bat.FallbackTicks)
 	}
 	if d := relDiff(lock.PeakTempC(), bat.PeakTempC()); d > tol {
 		t.Errorf("peak temp rel diff %.2e", d)

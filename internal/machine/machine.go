@@ -36,6 +36,7 @@ import (
 	"energysched/internal/counters"
 	"energysched/internal/dvfs"
 	"energysched/internal/energy"
+	"energysched/internal/faults"
 	"energysched/internal/profile"
 	"energysched/internal/rng"
 	"energysched/internal/sched"
@@ -242,6 +243,11 @@ type Config struct {
 	// Trace, when non-nil, records scheduler-level events (dispatches,
 	// blocks, migrations, throttle transitions) for offline analysis.
 	Trace *trace.Recorder
+
+	// Faults, when non-nil, injects the configured estimator and sensor
+	// faults and runs the recalibration/fallback loop (see
+	// internal/faults). nil is byte-identical to the fault-free machine.
+	Faults *faults.Spec
 }
 
 // DefaultPackageProps returns n identical packages with the reference
@@ -479,6 +485,28 @@ type Machine struct {
 	idleTicks      []int64         // per logical CPU
 	haltedTicks    []int64         // per logical CPU: ticks a runnable CPU was halted
 	downTicks      []int64         // per logical CPU: occupied ticks below nominal freq
+
+	// Fault-injection state (nil/zero unless Cfg.Faults is set).
+	faults        *faults.Injector
+	recalPeriod   int64           // residual window length (0 = loop off)
+	recalFilterW  float64         // exponential weight matching the window
+	recalPrev     counters.Counts // machine-wide counter sum at last window
+	recalIdlePrev int64           // Σ idle+halted ticks at last window
+	origLimitW    []float64       // throttle limits before any fallback scaling
+	fallbackOn    bool
+	// EstimationErrJ integrates |estimated − true| energy over the busy
+	// execution path: the cumulative damage of a wrong model, even when
+	// no fault is configured (then it is 0 unless Cfg.Estimator was
+	// already mis-calibrated).
+	EstimationErrJ float64
+	// ResidualW is the latest thermal-diode residual (sensed minus
+	// modeled machine power) observed by the recalibration loop.
+	ResidualW float64
+	// RecalibrationCount counts online weight adaptations.
+	RecalibrationCount int64
+	// FallbackTicks counts CPU-independent machine ticks spent under
+	// the conservative fallback throttle limits.
+	FallbackTicks int64
 }
 
 // New builds a machine. The workload is added afterwards with Spawn.
@@ -528,6 +556,21 @@ func New(cfg Config) (*Machine, error) {
 	est := cfg.Estimator
 	if est == nil {
 		est = energy.PerfectEstimator(model)
+	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj, err = faults.NewInjector(*cfg.Faults, cfg.Seed, nPkg)
+		if err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		// Fault injection mutates weights (mis-calibration now, drift and
+		// recalibration later), so the machine works on a private copy —
+		// the caller's estimator is never touched, and the halt power is
+		// never perturbed (the async engine's closed-form idle settles
+		// depend on it staying constant).
+		e := *est
+		inj.Miscalibrate(&e.Weights)
+		est = &e
 	}
 
 	// Package power budgets.
@@ -817,6 +860,23 @@ func New(cfg Config) (*Machine, error) {
 		m.emit(trace.Event{TimeMS: m.nowMS, Kind: trace.Migrate, TaskID: t.ID,
 			CPU: int(to), From: int(from), Detail: reason.String()})
 	}
+	// Fault-injection state (after the throttles: the fallback scales
+	// their limits and must know the originals).
+	if inj != nil {
+		m.faults = inj
+		m.recalPeriod = inj.Spec().RecalPeriodMS
+		if m.recalPeriod > 0 {
+			// The diode reading lags real power by the package RC; the
+			// model side of the residual is filtered with the matching
+			// exponential so the comparison is lag-for-lag.
+			m.recalFilterW = thermal.ThermalPowerWeight(cfg.PackageProps[0], float64(m.recalPeriod))
+		}
+		m.origLimitW = make([]float64, len(m.throttles))
+		for i, th := range m.throttles {
+			m.origLimitW[i] = th.LimitW
+		}
+	}
+
 	// Async parking state depends on the throttle groups built above.
 	if cfg.Engine == EngineAsync {
 		m.initAsync()

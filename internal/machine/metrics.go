@@ -193,6 +193,14 @@ func (m *Machine) ResetStats() {
 	for _, t := range m.unitThrottles {
 		t.Reset()
 	}
+	// Fault-injection counters restart; the loop's state (fallback
+	// engagement, recalibrated weights, the latest residual) persists —
+	// it is machine state, not a statistic. The idle-residency baseline
+	// of the residual window rebases with the tick counters above.
+	m.EstimationErrJ = 0
+	m.RecalibrationCount = 0
+	m.FallbackTicks = 0
+	m.recalIdlePrev = 0
 	// nowMS keeps advancing; IdleFrac uses a separate base.
 	m.statsBaseMS = m.nowMS
 }

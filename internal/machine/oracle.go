@@ -53,6 +53,12 @@ type Snapshot struct {
 	PendingAt   []int64 // nil without DVFS
 	CoreTempC   []float64
 
+	// Fault-injection observables (zero without Cfg.Faults).
+	EstimationErrJ     float64
+	ResidualW          float64
+	RecalibrationCount int64
+	FallbackTicks      int64
+
 	QueuedTasks int // total waiting (non-running) tasks
 	Sleepers    int
 	Tasks       map[int]TaskSnapshot
@@ -79,6 +85,10 @@ func (m *Machine) Snapshot() *Snapshot {
 		HaltedTicks:        append([]int64(nil), m.haltedTicks...),
 		ThermalW:           make([]float64, nCPU),
 		CoreTempC:          make([]float64, len(m.nodes)),
+		EstimationErrJ:     m.EstimationErrJ,
+		ResidualW:          m.ResidualW,
+		RecalibrationCount: m.RecalibrationCount,
+		FallbackTicks:      m.FallbackTicks,
 		QueuedTasks:        m.Sched.TotalQueued(),
 		Sleepers:           len(m.sleepers),
 		Tasks:              make(map[int]TaskSnapshot, len(m.tasks)),
@@ -197,6 +207,18 @@ func DiffSnapshots(ref, got *Snapshot, tol float64) []string {
 	}
 	if ref.PStateSwitches != got.PStateSwitches {
 		add("p-state switches: %d vs %d", ref.PStateSwitches, got.PStateSwitches)
+	}
+	if d := oracleRelDiff(ref.EstimationErrJ, got.EstimationErrJ); d > tol {
+		add("estimation err rel diff %.2e (%.6f vs %.6f)", d, ref.EstimationErrJ, got.EstimationErrJ)
+	}
+	if d := oracleRelDiff(ref.ResidualW, got.ResidualW); d > tol {
+		add("residual rel diff %.2e (%.9f vs %.9f)", d, ref.ResidualW, got.ResidualW)
+	}
+	if ref.RecalibrationCount != got.RecalibrationCount {
+		add("recalibrations: %d vs %d", ref.RecalibrationCount, got.RecalibrationCount)
+	}
+	if ref.FallbackTicks != got.FallbackTicks {
+		add("fallback ticks: %d vs %d", ref.FallbackTicks, got.FallbackTicks)
 	}
 	for c := range ref.FreqIdx {
 		if ref.FreqIdx[c] != got.FreqIdx[c] {

@@ -257,3 +257,78 @@ func TestQuickLongerPeriodMovesFurther(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Phase-shifting input faster than the average tracks (§3.3): a square
+// wave flipping every quarter timeslice must be smoothed — the average
+// stays strictly inside the band the inputs span, pinned near the wave's
+// mean — while a permanent shift still lands within the geometric lag
+// bound |v_n − x| = (1−p(τ))^n · |v_0 − x|.
+func TestExpAvgPhaseShiftingInput(t *testing.T) {
+	const lo, hi = 20.0, 60.0
+	a := NewExpAvg(ProfileStdWeight, StdTimesliceMS)
+	a.Seed((lo + hi) / 2)
+
+	// 200 quarter-timeslice (25 ms) phases, alternating hi/lo.
+	const phaseMS = StdTimesliceMS / 4
+	w := a.WeightFor(phaseMS) // p(25ms) = 1 − 0.5^0.25 ≈ 0.159
+	for i := 0; i < 200; i++ {
+		s := hi
+		if i%2 == 1 {
+			s = lo
+		}
+		a.Update(s, phaseMS)
+	}
+	// Steady-state ripple of the alternating fixed point: the average
+	// oscillates ±w·(hi−lo)/(2·(2−w)) around the mean — bound it loosely
+	// by the single-step excursion from the mean, w/2·(hi−lo) ≈ 3.2 W.
+	mean := (lo + hi) / 2
+	ripple := w / 2 * (hi - lo)
+	if d := math.Abs(a.Value() - mean); d > ripple*1.001 {
+		t.Fatalf("phase-shifting input: average %.3f strayed %.3f W from mean %v (ripple bound %.3f)", a.Value(), d, mean, ripple)
+	}
+	if a.Value() <= lo || a.Value() >= hi {
+		t.Fatalf("average %.3f escaped the input band (%v, %v)", a.Value(), lo, hi)
+	}
+
+	// Permanent shift to hi: the residual decays geometrically, so after
+	// n updates the gap is exactly (1−w)^n of the initial gap.
+	v0 := a.Value()
+	const n = 12
+	for i := 0; i < n; i++ {
+		a.Update(hi, phaseMS)
+	}
+	wantGap := math.Pow(1-w, n) * (hi - v0)
+	if gotGap := hi - a.Value(); math.Abs(gotGap-wantGap) > 1e-9 {
+		t.Fatalf("tracking lag: residual gap %.9f, geometric bound predicts %.9f", gotGap, wantGap)
+	}
+}
+
+// Variable-period updates must compose exactly like unit-dt stepping:
+// driving one average at dt=1 ms through a phase-shifting signal and
+// another with a single arbitrary-length update per constant segment
+// (via UpdateWeighted, the engines' settle path) yields bit-close
+// values. This is the property that lets the batched and async engines
+// fold idle gaps — and the fault injector's recalibration windows —
+// into one closed-form update.
+func TestExpAvgSegmentedEqualsUnitStepping(t *testing.T) {
+	segs := []struct {
+		ms     int
+		sample float64
+	}{{7, 55}, {1, 20}, {130, 20}, {25, 48}, {3, 48}, {64, 31}, {250, 62}, {12, 62}}
+
+	unit := NewExpAvg(ProfileStdWeight, StdTimesliceMS)
+	seg := NewExpAvg(ProfileStdWeight, StdTimesliceMS)
+	unit.Seed(40)
+	seg.Seed(40)
+	for _, s := range segs {
+		for i := 0; i < s.ms; i++ {
+			unit.Update(s.sample, 1)
+		}
+		seg.UpdateWeighted(s.sample, seg.WeightFor(float64(s.ms)))
+	}
+	// One-ms stepping compounds rounding, so compare to a few ulps of
+	// headroom rather than exact equality.
+	if d := math.Abs(unit.Value() - seg.Value()); d > 1e-9 {
+		t.Fatalf("segmented update diverged from unit stepping by %g (unit %.12f, segmented %.12f)", d, unit.Value(), seg.Value())
+	}
+}

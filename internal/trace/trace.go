@@ -38,12 +38,23 @@ const (
 	// PState: a CPU's DVFS P-state transition took effect (From is the
 	// old ladder index, Detail the new frequency label).
 	PState
+	// Drift: a fault-injection weight-drift step perturbed the
+	// estimator weights (machine-level; TaskID and CPU are -1).
+	Drift
+	// Recal: the online recalibrator adapted the estimator weights
+	// from the thermal-diode residual (machine-level).
+	Recal
+	// FallbackOn / FallbackOff: the divergence detector engaged or
+	// released the conservative fallback throttle limits.
+	FallbackOn
+	FallbackOff
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"dispatch", "slice_end", "block", "wake", "migrate",
 	"throttle_on", "throttle_off", "finish", "spawn", "pstate",
+	"drift", "recal", "fallback_on", "fallback_off",
 }
 
 // String names the kind.
