@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	esbench [-quick] [-time 1s] [-out FILE] [-engines lockstep,batched,async]
+//	esbench [-quick] [-time 1s] [-out FILE] [-engines lockstep,batched,async,parallel]
 //	        [-compare BASELINE.json] [-threshold 15] [-trend DIR]
 //
 // -quick runs every benchmark for a single iteration (the CI smoke
@@ -331,7 +331,7 @@ func main() {
 	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
 	minTime := flag.Duration("time", time.Second, "minimum measuring time per benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
-	enginesFlag := flag.String("engines", "lockstep,batched,async", "comma-separated engines to benchmark")
+	enginesFlag := flag.String("engines", "lockstep,batched,async,parallel", "comma-separated engines to benchmark")
 	compareTo := flag.String("compare", "", "baseline BENCH_*.json to gate this run against")
 	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails the -compare gate")
 	trendDir := flag.String("trend", "", "directory of committed BENCH_*.json files to print drift against")

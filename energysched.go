@@ -119,12 +119,17 @@ type Engine = machine.Engine
 // energy, and temperature analytically between events; EngineAsync
 // adds per-CPU clocks on top, letting idle CPUs sleep past busy ones
 // and settling their state lazily (the fastest choice for mostly-idle
-// machines); EngineLockstep is the classic 1 ms loop. All three
-// produce equivalent results for the same seed.
+// machines); EngineParallel shards the async step along NUMA-node
+// boundaries onto a goroutine pool (see Options.Shards — fastest on
+// wide, busy machines when cores are available); EngineLockstep is the
+// classic 1 ms loop. All four produce equivalent results for the same
+// seed, and EngineParallel is bit-identical to EngineAsync at every
+// shard count.
 const (
 	EngineBatched  = machine.EngineBatched
 	EngineLockstep = machine.EngineLockstep
 	EngineAsync    = machine.EngineAsync
+	EngineParallel = machine.EngineParallel
 )
 
 // XSeries445 returns the paper's evaluation machine layout (2 NUMA
@@ -142,8 +147,13 @@ type Options struct {
 	Layout Layout
 	// Engine selects the simulation core; the zero value is the batched
 	// event-horizon engine. EngineAsync batches idle CPUs past busy
-	// ones; EngineLockstep restores the 1 ms loop.
+	// ones; EngineParallel additionally shards the step across
+	// goroutines; EngineLockstep restores the 1 ms loop.
 	Engine Engine
+	// Shards is EngineParallel's shard count: 0 means one per NUMA
+	// node, larger values clamp to the node count. Results are
+	// bit-identical at every count. The other engines ignore it.
+	Shards int
 	// MaxQuantumMS caps the batched engine's quantum; 0 selects the
 	// machine default. Ignored by the lockstep engine.
 	MaxQuantumMS int
@@ -243,6 +253,7 @@ func New(opt Options) (*System, error) {
 	m, err := machine.New(machine.Config{
 		Layout:           layout,
 		Engine:           opt.Engine,
+		Shards:           opt.Shards,
 		MaxQuantumMS:     opt.MaxQuantumMS,
 		Sched:            pol,
 		Seed:             opt.Seed,

@@ -44,7 +44,7 @@ func EngineFlag(fs *flag.FlagSet) *machine.Engine {
 	}
 	e := new(machine.Engine)
 	*e = machine.EngineBatched
-	fs.Var(engineFlag{e}, "engine", "simulation engine: lockstep, batched, or async")
+	fs.Var(engineFlag{e}, "engine", "simulation engine: lockstep, batched, async, or parallel")
 	return e
 }
 

@@ -6,7 +6,7 @@ import (
 )
 
 // TestCorpus replays every minimized regression scenario in corpus/
-// through the full three-engine oracle. The corpus is the fuzzer's
+// through the full four-engine oracle. The corpus is the fuzzer's
 // institutional memory: each file is a once-failing scenario, shrunk,
 // with its root cause in the "note" field. A failure here is a tier-1
 // failure — a fixed bug has come back.

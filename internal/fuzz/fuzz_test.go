@@ -71,7 +71,7 @@ func TestGenerateCoverage(t *testing.T) {
 	}
 }
 
-// TestCheckSmoke runs the full three-engine oracle over a block of
+// TestCheckSmoke runs the full four-engine oracle over a block of
 // seeds. This is the in-tree slice of the CI smoke job; any failure
 // here is a real engine-equivalence or invariant bug.
 func TestCheckSmoke(t *testing.T) {

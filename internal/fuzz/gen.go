@@ -219,6 +219,9 @@ func Generate(seed uint64) Spec {
 	// Jitter ±30% so monitor/deadline periods land on varied residues.
 	s.RunMS = runMS - int64(float64(runMS)*0.3*r.Float64())
 	s.Chunks = 1 + r.Intn(4)
+	// Shard count for the parallel engine's oracle pass: every count
+	// in 1..Nodes (often a non-divisor) must be unobservable.
+	s.Shards = 1 + r.Intn(s.Topology.Nodes)
 
 	// Fault injection: mis-calibrated/drifting estimator weights and a
 	// faulty thermal diode feeding the recalibration/fallback loop.

@@ -10,7 +10,7 @@ import "fmt"
 // the attempt budget runs out.
 
 // ShrinkBudget caps the number of predicate evaluations one Shrink call
-// may spend. Each evaluation is three engine runs, so the cap bounds
+// may spend. Each evaluation is four engine runs, so the cap bounds
 // minimization wall-clock.
 const ShrinkBudget = 250
 

@@ -2,7 +2,8 @@
 // of random machine scenarios (topologies, thermal calibrations, DVFS
 // ladders, governor/throttle configs, workload mixes, run lengths,
 // deadline periods) plus an oracle harness that runs every scenario
-// through all three engines — lockstep, batched, async — byte-diffs
+// through all four engines — lockstep, batched, async, parallel (at a
+// generated shard count) — byte-diffs
 // their event traces, compares their observable state, and checks each
 // machine's conservation and parking invariants
 // (machine.CheckInvariants), so the lockstep reference is cross-checked
@@ -120,6 +121,10 @@ type Spec struct {
 	// (plus a remainder), exercising Run-boundary clamping and the
 	// async engine's end-of-Run settling. ≤ 1 means one call.
 	Chunks int `json:"chunks,omitempty"`
+	// Shards is the parallel engine's shard count for its oracle pass
+	// (0: one per NUMA node). Any count must be unobservable; the
+	// serial engines ignore it.
+	Shards int `json:"shards,omitempty"`
 
 	// Faults injects estimator mis-calibration/drift, thermal-diode
 	// sensor faults, and the recalibration/fallback loop — all
@@ -177,6 +182,7 @@ func (s Spec) machineConfig(e machine.Engine) (machine.Config, error) {
 	cfg := machine.Config{
 		Layout:          s.Topology.Layout(),
 		Engine:          e,
+		Shards:          s.Shards,
 		MaxQuantumMS:    s.MaxQuantumMS,
 		Sched:           schedCfg,
 		Seed:            s.Seed,

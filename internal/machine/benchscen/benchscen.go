@@ -30,13 +30,18 @@ type Scenario struct {
 	// SkipLockstep excludes the lockstep engine (on the largest
 	// layouts it is pure waiting).
 	SkipLockstep bool
+	// SkipParallel excludes the parallel engine (the small-layout
+	// engine-regime cases: with one or two nodes the fork has nothing
+	// to shard, so the rows would only re-measure async).
+	SkipParallel bool
 	// New builds the machine, workload spawned, on the given engine.
 	New func(e machine.Engine) *machine.Machine
 }
 
 // Skips reports whether the scenario excludes an engine.
 func (s Scenario) Skips(e machine.Engine) bool {
-	return s.SkipLockstep && e == machine.EngineLockstep
+	return s.SkipLockstep && e == machine.EngineLockstep ||
+		s.SkipParallel && e == machine.EngineParallel
 }
 
 func builder(lay topology.Layout, budget float64, throttle bool, populate func(cat *workload.Catalog, m *machine.Machine)) func(machine.Engine) *machine.Machine {
@@ -74,7 +79,7 @@ func saturate(cat *workload.Catalog, m *machine.Machine, per int) {
 func Engines() []Scenario {
 	return []Scenario{
 		{
-			Name: "engines/idle-heavy", SimChunkMS: 10_000, WarmupMS: 5_000,
+			Name: "engines/idle-heavy", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
 			New: builder(topology.Server64(), 120, false, func(cat *workload.Catalog, m *machine.Machine) {
 				m.SpawnN(cat.Sshd(), 3)
 				m.SpawnN(cat.Httpd(), 3)
@@ -82,13 +87,13 @@ func Engines() []Scenario {
 			}),
 		},
 		{
-			Name: "engines/steady-state", SimChunkMS: 10_000, WarmupMS: 5_000,
+			Name: "engines/steady-state", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
 			New: builder(topology.XSeries445NoSMT(), 60, false, func(cat *workload.Catalog, m *machine.Machine) {
 				saturate(cat, m, 2)
 			}),
 		},
 		{
-			Name: "engines/churn-heavy", SimChunkMS: 10_000, WarmupMS: 5_000,
+			Name: "engines/churn-heavy", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
 			New: builder(topology.XSeries445NoSMT(), 50, true, func(cat *workload.Catalog, m *machine.Machine) {
 				m.SpawnN(workload.WithWork(cat.Bitcnts(), 2000), 6)
 				m.SpawnN(workload.WithWork(cat.Memrw(), 2000), 6)
@@ -100,7 +105,7 @@ func Engines() []Scenario {
 			// CPUs at the evaluation period and pending transitions add
 			// planner horizons — this scenario tracks what the thermal
 			// governor costs each engine on a hot mixed workload.
-			Name: "engines/dvfs-thermal", SimChunkMS: 10_000, WarmupMS: 5_000,
+			Name: "engines/dvfs-thermal", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
 			New: func(e machine.Engine) *machine.Machine {
 				m := machine.MustNew(machine.Config{
 					Engine:           e,

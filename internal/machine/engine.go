@@ -33,7 +33,9 @@ func (m *Machine) Run(durationMS int64) {
 	switch m.Cfg.Engine {
 	case EngineLockstep:
 		m.runLockstep(durationMS)
-	case EngineAsync:
+	case EngineAsync, EngineParallel:
+		// The parallel engine shares the async driver: the fork-join
+		// sharding lives entirely inside step (see parallel.go).
 		m.runAsync(durationMS)
 	default:
 		m.runBatched(durationMS)
@@ -166,95 +168,24 @@ func (m *Machine) step(limitMS int64) int64 {
 			}
 		}
 	}
-	for _, c32 := range m.stepCPUs() {
-		c := int(c32)
-		if m.cpuParked(c) {
-			continue // execSpeed stays 0; no runnable task, no trace edge
+	// The per-CPU half of the decision: halt or run, then the SMT,
+	// warmup, and DVFS speed factors. Under the default policy the loop
+	// bodies are free of ordered side effects (trace edges are deferred
+	// to haltEdgePass), so the parallel engine runs them per node
+	// shard; the §2.3 task-throttling policy rotates runqueues and
+	// interleaves trace events per CPU, so it keeps the serial loop on
+	// every engine.
+	if m.Cfg.TaskThrottling {
+		m.resolveHaltsTaskThrottling(throttledStep)
+		m.smtScaleOn(m.stepCPUs())
+	} else {
+		if m.par != nil {
+			m.par.fork(m, secSpeed, throttledStep, 0, 0, 0)
+		} else {
+			m.haltDecideOn(m.stepCPUs(), throttledStep)
+			m.smtScaleOn(m.stepCPUs())
 		}
-		m.execSpeed[c] = 0
-		rq := m.Sched.RQ(topology.CPUID(c))
-		if rq.Current == nil {
-			continue
-		}
-		halt := throttledStep[c]
-		if halt && m.Cfg.TaskThrottling {
-			// §2.3 hot-task throttling: only tasks responsible for
-			// the overheating are halted; a cool task keeps running
-			// even while the throttle is engaged. A hot task at the
-			// head of the queue is rotated away (its slice ends) so
-			// cool queue-mates are not starved behind it; the CPU
-			// halts this tick only if the queue's head is still hot.
-			// (The batched planner degrades to 1 ms quanta while any
-			// throttle is engaged under this policy, so this per-tick
-			// rotation runs exactly as in lockstep.)
-			cpu := topology.CPUID(c)
-			sustainable := m.Sched.MaxPower(cpu)
-			if rq.Current.ProfiledWatts() > sustainable && len(rq.Queued()) > 0 {
-				m.endTimeslice(cpu, m.nowMS)
-			}
-			if rq.Current != nil && rq.Current.ProfiledWatts() <= sustainable {
-				halt = false
-			}
-		}
-		if !halt {
-			m.execSpeed[c] = 1
-		}
-		throttledStep[c] = halt
-		if m.Cfg.Trace != nil && halt != m.prevHalt[c] {
-			kind := trace.ThrottleOff
-			if halt {
-				kind = trace.ThrottleOn
-			}
-			m.emit(trace.Event{TimeMS: m.nowMS, Kind: kind, TaskID: -1, CPU: c, From: -1})
-		}
-		m.prevHalt[c] = halt
-	}
-
-	// 4. SMT contention: a logical CPU executing alongside a busy
-	// sibling runs at the slowdown factor. Cache-warmup penalties after
-	// a migration (§4.1) fold in here too, so execSpeed is the final
-	// execution speed of the quantum.
-	if threads > 1 {
-		for _, c32 := range m.stepCPUs() {
-			c := int(c32)
-			if m.execSpeed[c] == 0 {
-				continue
-			}
-			base := int(m.coreOfCPU[c]) * threads
-			for t := 0; t < threads; t++ {
-				if sib := int(m.coreCPUs[base+t]); sib != c && m.execSpeed[sib] > 0 {
-					m.execSpeed[c] = m.Cfg.SMTSlowdown
-					break
-				}
-			}
-		}
-	}
-	for _, c32 := range m.stepCPUs() {
-		c := int(c32)
-		if m.execSpeed[c] == 0 {
-			continue
-		}
-		if t := m.Sched.RQ(topology.CPUID(c)).Current; t.WarmupLeft > 0 {
-			speed := m.execSpeed[c] * m.Cfg.Sched.WarmupSpeed
-			if speed <= 0 || speed > 1 {
-				speed = m.Cfg.Sched.WarmupSpeed
-			}
-			m.execSpeed[c] = speed
-		}
-	}
-
-	// 4b. DVFS: workload progress is clock-bound, so the P-state's
-	// f/f_max factor composes multiplicatively with the SMT and warmup
-	// factors. (The SMT check above deliberately ran on the unscaled
-	// speeds: a sibling contends for the core's functional units
-	// whatever its frequency.) execSpeed is now the final execution
-	// speed of the quantum, and every planner horizon divides by it.
-	if m.dvfsOn {
-		for _, c32 := range m.stepCPUs() {
-			if c := int(c32); m.execSpeed[c] > 0 {
-				m.execSpeed[c] *= m.speedScale[c]
-			}
-		}
+		m.haltEdgePass(throttledStep)
 	}
 
 	// 5. Fix the quantum: the largest dt over which every decision made
@@ -295,28 +226,8 @@ func (m *Machine) step(limitMS int64) int64 {
 	if m.async {
 		m.accountDone = true
 	}
-	for _, c32 := range m.stepCPUs() {
-		if c := int(c32); throttledStep[c] && m.Sched.RQ(topology.CPUID(c)).Current != nil {
-			m.haltedTicks[c] += dt
-		}
-	}
 	if m.fallbackOn {
 		m.FallbackTicks += dt
-	}
-	if m.dvfsOn {
-		// Downclocked occupancy — the DVFS counterpart of haltedTicks:
-		// ticks an occupied CPU actually ran below the nominal
-		// frequency. execSpeed > 0 excludes throttle-halted ticks,
-		// which haltedTicks already counts — the two enforcement
-		// signatures partition the time instead of overlapping.
-		nominal := m.dvfsCfg.Ladder.Max()
-		for _, c32 := range m.stepCPUs() {
-			c := int(c32)
-			if m.freqIdx[c] < nominal && m.execSpeed[c] > 0 &&
-				m.Sched.RQ(topology.CPUID(c)).Current != nil {
-				m.downTicks[c] += dt
-			}
-		}
 	}
 
 	// 6. Execute, account energy. The workload integrates the whole
@@ -334,104 +245,36 @@ func (m *Machine) step(limitMS int64) int64 {
 	// tasks' respawns) are deferred until after the sweep (activateCPU),
 	// so they always land behind the cursor and the deferred CPU's
 	// quantum folds through the identical closed-form settle.
-	tickRes := &m.tickScratch
+	// The sweep is split into a per-CPU compute half and a canonical-
+	// order commit: compute integrates each CPU's workload, counters,
+	// metric, and per-unit power (all CPU-local state) and stages the
+	// global-accumulator terms and task transition; execCommit then
+	// folds the staged effects walking the active list ascending. No
+	// commit action can change another CPU's compute within the same
+	// quantum (dispatches, profile samples, placement records, wake
+	// queue, and deadline arming are only read by later phases or later
+	// quanta), so compute-then-commit is bit-identical to the historical
+	// fused loop — the compute half is what the parallel engine runs
+	// per node shard, with the commit serialized behind the barrier.
+	// The serial engines interleave commit right behind each CPU's
+	// compute (the historical order, same result, one pass of locality
+	// instead of two).
+	//
 	// Every CPU folds this quantum's average power over the same fdt, so
 	// the variable-period sample weight is computed once for the sweep
 	// (per tracker when calibrations differ across packages).
 	quantW := m.thermWeightFor(0, fdt)
-	for _, c32 := range m.stepCPUs() {
-		c := int(c32)
-		if m.async {
-			m.phase6CPU = c
-		}
-		cpu := topology.CPUID(c)
-		speed := m.execSpeed[c]
-		if !m.thermWShared {
-			quantW = m.Sched.Power[c].ThermalWeightFor(fdt)
-		}
-		if speed == 0 {
-			// Idle or halted: sleep power only (hlt power does not
-			// depend on the P-state).
-			m.truePower[c] = m.idleShareW
-			m.TrueEnergyJ += m.idleShareW * fdt / 1000
-			m.Sched.Power[c].AddEnergyWeighted(m.estIdleJ*fdt, fdt, quantW)
-			if m.Sched.RQ(cpu).Current == nil {
-				m.idleTicks[c] += dt
-			} else if m.govPeriod > 0 {
-				// Halted with a runnable task: occupied, not idle.
-				// (Utilization feeds only active governors — skip the
-				// tracker when no governor evaluates.)
-				m.Sched.Util[c].AddBusy(fdt)
-			}
-			continue
-		}
-		d := &m.dispatches[c]
-		task := d.task
-		if task.st.WarmupLeft > 0 {
-			task.st.WarmupLeft -= fdt
-		}
-		task.work.TickInto(tickRes, speed, fdt)
-		m.WorkDoneMS += speed * fdt
-		if m.govPeriod > 0 {
-			m.Sched.Util[c].AddBusy(fdt)
-		}
-		m.banks[c].AccumulateFrom(&tickRes.Counts)
-		d.counts.Accum(&tickRes.Counts)
-		d.ranMS += fdt
-
-		// The P-state's energy factor: event counts already shrank by
-		// f/f_max through the execution speed, so scaling each count's
-		// energy by (V/V_max)² realizes the full f·V² dynamic-power
-		// law. 1 when DVFS is off or the CPU is at the nominal state.
-		ps := 1.0
+	if m.par != nil {
+		m.par.fork(m, secExec, throttledStep, dt, fdt, quantW)
+		m.execCommit(m.stepCPUs(), fdt, endMS)
+	} else {
+		nominal := 0
 		if m.dvfsOn {
-			ps = m.powScale[c]
+			nominal = m.dvfsCfg.Ladder.Max()
 		}
-		task.st.SliceLeft -= fdt
-
-		trueJ := m.Model.EnergyJExact(tickRes.Exact, 0) * ps
-		m.truePower[c] = trueJ * 1000 / fdt
-		m.TrueEnergyJ += trueJ
-		if m.unitPower != nil {
-			ue := units.SplitExact(m.Model.Weights, tickRes.Exact)
-			core := int(m.coreOfCPU[c])
-			for u := range ue {
-				m.unitPower[core][u] += ue[u] * ps * 1000 / fdt
-			}
-		}
-		estJ := m.Est.EnergyJExact(tickRes.Exact, 0) * ps
-		// Within a quantum the event rates are constant, so the sign of
-		// the per-event estimation error is too: |est−true| integrated
-		// per quantum equals the per-millisecond integral, keeping the
-		// metric partition-invariant across engines.
-		m.EstimationErrJ += math.Abs(estJ - trueJ)
-		m.Sched.Power[c].AddEnergyWeighted(estJ, fdt, quantW)
-		if m.dvfsOn {
-			// The kernel knows its own P-state residency, so per-
-			// dispatch profile energy accumulates frequency-scaled
-			// exact estimates (integer counter deltas cannot be
-			// rescaled after the fact once states changed mid-slice).
-			d.estJ += estJ
-			if ps != 1 {
-				d.scaled = true
-			}
-			if task.st.Units != nil {
-				ue := units.SplitExact(m.Est.Weights, tickRes.Exact)
-				for u := range ue {
-					d.estUnitsJ[u] += ue[u] * ps
-				}
-			}
-		}
-
-		switch tickRes.Status {
-		case workload.Finished:
-			m.finishTask(cpu, task, endMS)
-		case workload.Blocked:
-			m.blockTask(cpu, task, tickRes.BlockMS, endMS)
-		default:
-			if task.st.SliceLeft <= 0 {
-				m.endTimeslice(cpu, endMS)
-			}
+		for _, c32 := range m.stepCPUs() {
+			m.execComputeCPU(int(c32), &m.tickScratch, throttledStep, dt, fdt, quantW, nominal)
+			m.execCommitCPU(int(c32), fdt, endMS)
 		}
 	}
 
@@ -463,50 +306,20 @@ func (m *Machine) step(limitMS int64) int64 {
 		m.Spawn(prog)
 	}
 	m.respawnQ = m.respawnQ[:0]
-	liveCores := m.stepCoreList()
-	for _, core32 := range liveCores {
-		core := int(core32)
-		sum := 0.0
-		base := core * threads
-		for t := 0; t < threads; t++ {
-			sum += m.truePower[int(m.coreCPUs[base+t])]
-		}
-		m.corePower[core] = sum
-		m.coreStartTemp[core] = m.nodes[core].TempC
-	}
-	for _, core32 := range liveCores {
-		core := int(core32)
-		eff := m.coupledEffPower(m.corePower, core)
-		m.coreEff[core] = eff
-		m.nodes[core].StepExact(eff, fdt)
-		// Within a constant-power quantum the RC response is monotone,
-		// so checking the endpoint captures the quantum's extremum.
-		if m.nodes[core].TempC > m.peakTempC {
-			m.peakTempC = m.nodes[core].TempC
-		}
-	}
-	if m.unitNodes != nil {
-		for _, core32 := range liveCores {
-			core := int(core32)
-			if dt == 1 {
-				// The lockstep path: hotspots ride on the core
-				// temperature just stepped.
-				ref := m.nodes[core].TempC
-				for u, n := range m.unitNodes[core] {
-					n.StepOver(m.unitPower[core][u], 1, ref)
-					m.unitPower[core][u] = 0
-				}
-				continue
-			}
-			// Batched path: the closed form of dt per-ms StepOver
-			// calls against the core's geometric relaxation.
-			steady := m.nodes[core].Props.SteadyTemp(m.coreEff[core])
-			decay := m.nodes[core].Props.DecayPerMS()
-			for u, n := range m.unitNodes[core] {
-				n.StepOverBatched(m.unitPower[core][u], dt, m.coreStartTemp[core], steady, decay)
-				m.unitPower[core][u] = 0
+	// Thermal state is node-local through and through — a core's RC
+	// node reads only its own package's core powers (all in one shard;
+	// shards never split a package) — so the integration runs per node
+	// shard, with only the peak-temperature fold merged serially (max
+	// is exact, so the merge order cannot matter).
+	if m.par != nil {
+		m.par.fork(m, secTherm, nil, dt, fdt, 0)
+		for _, pk := range m.par.peaks {
+			if pk > m.peakTempC {
+				m.peakTempC = pk
 			}
 		}
+	} else if pk := m.thermalOn(m.stepCoreList(), dt, fdt); pk > m.peakTempC {
+		m.peakTempC = pk
 	}
 
 	// 8. Periodic balancing and hot-task checks, staggered per CPU on
@@ -675,6 +488,380 @@ func (m *Machine) throttledCPUs() []bool {
 		}
 	}
 	return out
+}
+
+// haltDecideOn resolves the phase-3 halt decision for the given CPUs
+// under the default (CPU-level) throttling policy: an occupied,
+// un-parked CPU runs at speed 1 unless its throttle group engaged.
+// Trace edges and prevHalt updates are deferred to haltEdgePass, so the
+// loop body is CPU-local and the parallel engine can run it per shard.
+func (m *Machine) haltDecideOn(cpus []int32, throttledStep []bool) {
+	for _, c32 := range cpus {
+		c := int(c32)
+		if m.cpuParked(c) {
+			continue // execSpeed stays 0; no runnable task, no trace edge
+		}
+		m.execSpeed[c] = 0
+		if m.Sched.RQ(topology.CPUID(c)).Current == nil {
+			continue
+		}
+		if !throttledStep[c] {
+			m.execSpeed[c] = 1
+		}
+	}
+}
+
+// resolveHaltsTaskThrottling is the serial phase-3 loop of the §2.3
+// hot-task policy: only tasks responsible for the overheating are
+// halted; a cool task keeps running even while the throttle is engaged.
+// A hot task at the head of the queue is rotated away (its slice ends)
+// so cool queue-mates are not starved behind it; the CPU halts this
+// tick only if the queue's head is still hot. The rotation mutates
+// runqueues and interleaves its trace events with the halt edges, so
+// this path runs serially on every engine — the batched planner
+// degrades to 1 ms quanta while any throttle is engaged under this
+// policy, so the per-tick rotation runs exactly as in lockstep.
+func (m *Machine) resolveHaltsTaskThrottling(throttledStep []bool) {
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
+		if m.cpuParked(c) {
+			continue // execSpeed stays 0; no runnable task, no trace edge
+		}
+		m.execSpeed[c] = 0
+		rq := m.Sched.RQ(topology.CPUID(c))
+		if rq.Current == nil {
+			continue
+		}
+		halt := throttledStep[c]
+		if halt {
+			cpu := topology.CPUID(c)
+			sustainable := m.Sched.MaxPower(cpu)
+			if rq.Current.ProfiledWatts() > sustainable && len(rq.Queued()) > 0 {
+				m.endTimeslice(cpu, m.nowMS)
+			}
+			if rq.Current != nil && rq.Current.ProfiledWatts() <= sustainable {
+				halt = false
+			}
+		}
+		if !halt {
+			m.execSpeed[c] = 1
+		}
+		throttledStep[c] = halt
+		if m.Cfg.Trace != nil && halt != m.prevHalt[c] {
+			kind := trace.ThrottleOff
+			if halt {
+				kind = trace.ThrottleOn
+			}
+			m.emit(trace.Event{TimeMS: m.nowMS, Kind: kind, TaskID: -1, CPU: c, From: -1})
+		}
+		m.prevHalt[c] = halt
+	}
+}
+
+// smtScaleOn applies the phase-4/4b speed factors to the given CPUs.
+// SMT contention: a logical CPU executing alongside a busy sibling runs
+// at the slowdown factor — siblings share a core, a core never spans
+// shards, and the busy/idle predicate the check reads is invariant
+// under every later scaling (slowdown, warmup, and DVFS factors are all
+// > 0), so per-shard execution is order-identical to the global loop.
+// Cache-warmup penalties after a migration (§4.1) fold in next, then
+// the P-state's f/f_max factor composes multiplicatively (the SMT check
+// deliberately ran on the unscaled speeds: a sibling contends for the
+// core's functional units whatever its frequency). execSpeed is then
+// the final execution speed of the quantum, and every planner horizon
+// divides by it.
+func (m *Machine) smtScaleOn(cpus []int32) {
+	threads := m.Cfg.Layout.ThreadsPerPackage
+	if threads > 1 {
+		for _, c32 := range cpus {
+			c := int(c32)
+			if m.execSpeed[c] == 0 {
+				continue
+			}
+			base := int(m.coreOfCPU[c]) * threads
+			for t := 0; t < threads; t++ {
+				if sib := int(m.coreCPUs[base+t]); sib != c && m.execSpeed[sib] > 0 {
+					m.execSpeed[c] = m.Cfg.SMTSlowdown
+					break
+				}
+			}
+		}
+	}
+	for _, c32 := range cpus {
+		c := int(c32)
+		if m.execSpeed[c] == 0 {
+			continue
+		}
+		if t := m.Sched.RQ(topology.CPUID(c)).Current; t.WarmupLeft > 0 {
+			speed := m.execSpeed[c] * m.Cfg.Sched.WarmupSpeed
+			if speed <= 0 || speed > 1 {
+				speed = m.Cfg.Sched.WarmupSpeed
+			}
+			m.execSpeed[c] = speed
+		}
+	}
+	if m.dvfsOn {
+		for _, c32 := range cpus {
+			if c := int(c32); m.execSpeed[c] > 0 {
+				m.execSpeed[c] *= m.speedScale[c]
+			}
+		}
+	}
+}
+
+// haltEdgePass emits the throttle-edge trace events and updates
+// prevHalt in canonical ascending-CPU order once the halt decisions
+// (possibly sharded) have all resolved. It visits exactly the CPUs the
+// decision loop reached — occupied and un-parked — and under the
+// default policy the decision never rewrites throttledStep, so reading
+// it here sees the engage pass's values unchanged.
+func (m *Machine) haltEdgePass(throttledStep []bool) {
+	for _, c32 := range m.stepCPUs() {
+		c := int(c32)
+		if m.cpuParked(c) || m.Sched.RQ(topology.CPUID(c)).Current == nil {
+			continue
+		}
+		halt := throttledStep[c]
+		if m.Cfg.Trace != nil && halt != m.prevHalt[c] {
+			kind := trace.ThrottleOff
+			if halt {
+				kind = trace.ThrottleOn
+			}
+			m.emit(trace.Event{TimeMS: m.nowMS, Kind: kind, TaskID: -1, CPU: c, From: -1})
+		}
+		m.prevHalt[c] = halt
+	}
+}
+
+// Staged task transitions of the execution sweep (p6stat values): the
+// compute half records what the quantum did to each CPU's dispatch and
+// execCommit replays the consequences in canonical order.
+const (
+	p6Idle = iota + 1
+	p6Run
+	p6Finish
+	p6Block
+)
+
+// execComputeOn is the compute half of the phase-6 execution sweep for
+// the given CPUs: integrate the quantum into each CPU's workload,
+// counter banks, utilization, thermal-power metric, and per-unit power
+// (all CPU- or core-local — SMT siblings share a core and therefore a
+// shard), and stage the global-accumulator terms (true energy,
+// estimation error) plus the task transition for execCommit. The
+// per-tick halted/downclocked occupancy counters fold in here too:
+// they are per-CPU and depend only on pre-sweep state.
+func (m *Machine) execComputeOn(cpus []int32, tickRes *workload.TickResult, throttledStep []bool, dt int64, fdt, quantW float64) {
+	nominal := 0
+	if m.dvfsOn {
+		nominal = m.dvfsCfg.Ladder.Max()
+	}
+	for _, c32 := range cpus {
+		m.execComputeCPU(int(c32), tickRes, throttledStep, dt, fdt, quantW, nominal)
+	}
+}
+
+// execComputeCPU is execComputeOn for one CPU.
+func (m *Machine) execComputeCPU(c int, tickRes *workload.TickResult, throttledStep []bool, dt int64, fdt, quantW float64, nominal int) {
+	{
+		cpu := topology.CPUID(c)
+		rq := m.Sched.RQ(cpu)
+		speed := m.execSpeed[c]
+		if !m.thermWShared {
+			quantW = m.Sched.Power[c].ThermalWeightFor(fdt)
+		}
+		if throttledStep[c] && rq.Current != nil {
+			m.haltedTicks[c] += dt
+		}
+		if speed == 0 {
+			// Idle or halted: sleep power only (hlt power does not
+			// depend on the P-state).
+			m.truePower[c] = m.idleShareW
+			m.p6true[c] = m.idleShareW * fdt / 1000
+			m.p6stat[c] = p6Idle
+			m.Sched.Power[c].AddEnergyWeighted(m.estIdleJ*fdt, fdt, quantW)
+			if rq.Current == nil {
+				m.idleTicks[c] += dt
+			} else if m.govPeriod > 0 {
+				// Halted with a runnable task: occupied, not idle.
+				// (Utilization feeds only active governors — skip the
+				// tracker when no governor evaluates.)
+				m.Sched.Util[c].AddBusy(fdt)
+			}
+			return
+		}
+		if m.dvfsOn && m.freqIdx[c] < nominal {
+			// Downclocked occupancy — the DVFS counterpart of
+			// haltedTicks: ticks an occupied CPU actually ran below the
+			// nominal frequency. The busy branch excludes throttle-
+			// halted ticks, which haltedTicks already counts — the two
+			// enforcement signatures partition the time instead of
+			// overlapping.
+			m.downTicks[c] += dt
+		}
+		d := &m.dispatches[c]
+		task := d.task
+		if task.st.WarmupLeft > 0 {
+			task.st.WarmupLeft -= fdt
+		}
+		task.work.TickInto(tickRes, speed, fdt)
+		if m.govPeriod > 0 {
+			m.Sched.Util[c].AddBusy(fdt)
+		}
+		m.banks[c].AccumulateFrom(&tickRes.Counts)
+		d.counts.Accum(&tickRes.Counts)
+		d.ranMS += fdt
+
+		// The P-state's energy factor: event counts already shrank by
+		// f/f_max through the execution speed, so scaling each count's
+		// energy by (V/V_max)² realizes the full f·V² dynamic-power
+		// law. 1 when DVFS is off or the CPU is at the nominal state.
+		ps := 1.0
+		if m.dvfsOn {
+			ps = m.powScale[c]
+		}
+		task.st.SliceLeft -= fdt
+
+		trueJ := m.Model.EnergyJExact(tickRes.Exact, 0) * ps
+		m.truePower[c] = trueJ * 1000 / fdt
+		m.p6true[c] = trueJ
+		if m.unitPower != nil {
+			ue := units.SplitExact(m.Model.Weights, tickRes.Exact)
+			core := int(m.coreOfCPU[c])
+			for u := range ue {
+				m.unitPower[core][u] += ue[u] * ps * 1000 / fdt
+			}
+		}
+		estJ := m.Est.EnergyJExact(tickRes.Exact, 0) * ps
+		// Within a quantum the event rates are constant, so the sign of
+		// the per-event estimation error is too: |est−true| integrated
+		// per quantum equals the per-millisecond integral, keeping the
+		// metric partition-invariant across engines.
+		m.p6err[c] = math.Abs(estJ - trueJ)
+		m.Sched.Power[c].AddEnergyWeighted(estJ, fdt, quantW)
+		if m.dvfsOn {
+			// The kernel knows its own P-state residency, so per-
+			// dispatch profile energy accumulates frequency-scaled
+			// exact estimates (integer counter deltas cannot be
+			// rescaled after the fact once states changed mid-slice).
+			d.estJ += estJ
+			if ps != 1 {
+				d.scaled = true
+			}
+			if task.st.Units != nil {
+				ue := units.SplitExact(m.Est.Weights, tickRes.Exact)
+				for u := range ue {
+					d.estUnitsJ[u] += ue[u] * ps
+				}
+			}
+		}
+
+		switch tickRes.Status {
+		case workload.Finished:
+			m.p6stat[c] = p6Finish
+		case workload.Blocked:
+			m.p6stat[c] = p6Block
+			m.p6block[c] = tickRes.BlockMS
+		default:
+			m.p6stat[c] = p6Run
+		}
+	}
+}
+
+// execCommit applies the execution sweep's staged effects walking the
+// active list ascending — the canonical order. The global accumulators
+// fold per-CPU terms in exactly the sequence the historical fused sweep
+// produced them (each accumulator's add chain is bit-identical), and
+// the queue-mutating task transitions (finish, block, slice expiry)
+// run with their trace events in the same order on every engine and at
+// every shard count.
+func (m *Machine) execCommit(cpus []int32, fdt float64, endMS int64) {
+	for _, c32 := range cpus {
+		m.execCommitCPU(int(c32), fdt, endMS)
+	}
+}
+
+// execCommitCPU is execCommit for one CPU.
+func (m *Machine) execCommitCPU(c int, fdt float64, endMS int64) {
+	if m.async {
+		m.phase6CPU = c
+	}
+	stat := m.p6stat[c]
+	m.p6stat[c] = 0
+	if stat == p6Idle {
+		m.TrueEnergyJ += m.p6true[c]
+		return
+	}
+	m.WorkDoneMS += m.execSpeed[c] * fdt
+	m.TrueEnergyJ += m.p6true[c]
+	m.EstimationErrJ += m.p6err[c]
+	cpu := topology.CPUID(c)
+	task := m.dispatches[c].task
+	switch stat {
+	case p6Finish:
+		m.finishTask(cpu, task, endMS)
+	case p6Block:
+		m.blockTask(cpu, task, m.p6block[c], endMS)
+	default:
+		if task.st.SliceLeft <= 0 {
+			m.endTimeslice(cpu, endMS)
+		}
+	}
+}
+
+// thermalOn runs the phase-7 thermal integration over the given cores
+// and returns their peak end-of-quantum temperature (−Inf when the
+// list is empty). Everything it reads is package-local — a core's
+// coupled effective power sums its chip neighbours' raw powers, and a
+// package never spans shards — so per-shard execution is exact.
+func (m *Machine) thermalOn(cores []int32, dt int64, fdt float64) float64 {
+	threads := m.Cfg.Layout.ThreadsPerPackage
+	for _, core32 := range cores {
+		core := int(core32)
+		sum := 0.0
+		base := core * threads
+		for t := 0; t < threads; t++ {
+			sum += m.truePower[int(m.coreCPUs[base+t])]
+		}
+		m.corePower[core] = sum
+		m.coreStartTemp[core] = m.nodes[core].TempC
+	}
+	peak := math.Inf(-1)
+	for _, core32 := range cores {
+		core := int(core32)
+		eff := m.coupledEffPower(m.corePower, core)
+		m.coreEff[core] = eff
+		m.nodes[core].StepExact(eff, fdt)
+		// Within a constant-power quantum the RC response is monotone,
+		// so checking the endpoint captures the quantum's extremum.
+		if m.nodes[core].TempC > peak {
+			peak = m.nodes[core].TempC
+		}
+	}
+	if m.unitNodes != nil {
+		for _, core32 := range cores {
+			core := int(core32)
+			if dt == 1 {
+				// The lockstep path: hotspots ride on the core
+				// temperature just stepped.
+				ref := m.nodes[core].TempC
+				for u, n := range m.unitNodes[core] {
+					n.StepOver(m.unitPower[core][u], 1, ref)
+					m.unitPower[core][u] = 0
+				}
+				continue
+			}
+			// Batched path: the closed form of dt per-ms StepOver
+			// calls against the core's geometric relaxation.
+			steady := m.nodes[core].Props.SteadyTemp(m.coreEff[core])
+			decay := m.nodes[core].Props.DecayPerMS()
+			for u, n := range m.unitNodes[core] {
+				n.StepOverBatched(m.unitPower[core][u], dt, m.coreStartTemp[core], steady, decay)
+				m.unitPower[core][u] = 0
+			}
+		}
+	}
+	return peak
 }
 
 // startDispatch begins a task's occupancy of a CPU: fresh timeslice,

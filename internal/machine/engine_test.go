@@ -431,24 +431,41 @@ func relDiff(a, b float64) float64 {
 	return math.Abs(a-b) / den
 }
 
-// TestEngineEquivalence runs every scenario through all three engines
+// TestEngineEquivalence runs every scenario through all four engines
 // and asserts the acceptance contract against the lockstep reference:
 // exactly equal discrete outcomes (completions, migrations with their
 // timestamps and reasons, throttle decisions, idle/halted ticks),
-// ≤1e-6 relative difference on temperatures and energies.
+// ≤1e-6 relative difference on temperatures and energies. The parallel
+// engine runs twice — at the default one-shard-per-node partition and
+// repartitioned to a single shard — pinning the determinism contract
+// that the shard count is unobservable.
 func TestEngineEquivalence(t *testing.T) {
 	for _, sc := range engineScenarios() {
-		// The slow lockstep reference runs once per scenario; both
-		// fast engines are asserted against the same machine. Every
+		// The slow lockstep reference runs once per scenario; every
+		// fast engine is asserted against the same machine. Every
 		// machine records a full event trace, asserted byte-identical
 		// across engines.
 		lock := sc.build(EngineLockstep)
 		lock.Cfg.Trace = trace.New(0)
 		lock.Run(sc.runMS)
 		lockCSV := traceCSV(t, lock.Cfg.Trace)
-		for _, engine := range []Engine{EngineBatched, EngineAsync} {
-			t.Run(sc.name+"/"+engine.String(), func(t *testing.T) {
-				got := sc.build(engine)
+		for _, v := range []struct {
+			engine Engine
+			shards int // EngineParallel repartition (0 keeps the default)
+			name   string
+		}{
+			{EngineBatched, 0, "batched"},
+			{EngineAsync, 0, "async"},
+			{EngineParallel, 0, "parallel"},
+			{EngineParallel, 1, "parallel-1shard"},
+		} {
+			t.Run(sc.name+"/"+v.name, func(t *testing.T) {
+				got := sc.build(v.engine)
+				if v.shards != 0 {
+					if err := got.SetShards(v.shards); err != nil {
+						t.Fatal(err)
+					}
+				}
 				got.Cfg.Trace = trace.New(0)
 				// Advance in chunks to also exercise Run-boundary
 				// clamping (and, for async, the end-of-Run settling).
@@ -651,8 +668,17 @@ func TestBatchedEngineQuantaAreLarge(t *testing.T) {
 // TestEngineString covers the Engine stringer.
 func TestEngineString(t *testing.T) {
 	if EngineBatched.String() != "batched" || EngineLockstep.String() != "lockstep" ||
-		EngineAsync.String() != "async" {
+		EngineAsync.String() != "async" || EngineParallel.String() != "parallel" {
 		t.Error("engine names wrong")
+	}
+	for _, name := range []string{"batched", "lockstep", "async", "parallel"} {
+		e, err := ParseEngine(name)
+		if err != nil || e.String() != name {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, e, err)
+		}
+	}
+	if _, err := ParseEngine("turbo"); err == nil {
+		t.Error("ParseEngine accepted an unknown engine")
 	}
 	if s := Engine(9).String(); s != fmt.Sprintf("engine(%d)", 9) {
 		t.Errorf("unknown engine name %q", s)
