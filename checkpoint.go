@@ -1,0 +1,51 @@
+package energysched
+
+import (
+	"energysched/internal/energy"
+	"energysched/internal/machine"
+	"energysched/internal/workload"
+)
+
+// Checkpoint serializes the system's complete simulation state —
+// tasks, runqueues, thermal nodes, throttles, DVFS ladders, RNGs,
+// accumulated statistics — into a self-contained, versioned byte
+// image. A machine restored from the image continues bit-exactly: the
+// remaining event trace, every statistic, and every later checkpoint
+// are byte-identical to the original running on uninterrupted.
+// Identical states always encode to identical bytes, so images can be
+// cached and compared by content (the esfarmd daemon does both).
+func (s *System) Checkpoint() ([]byte, error) { return s.m.Checkpoint() }
+
+// Restore rebuilds a System from a Checkpoint image. rec, when
+// non-nil, records the restored run's scheduler events (the original
+// recorder's history is not part of the image). It fails on images
+// from an incompatible checkpoint version.
+func Restore(data []byte, rec *TraceRecorder) (*System, error) {
+	m, err := machine.Restore(data, rec)
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m, catalog: workload.NewCatalog(energy.DefaultTrueModel())}, nil
+}
+
+// Branch forks an in-memory copy of the system sharing no mutable
+// state with its parent: the copy and the parent continue bit-exactly
+// identically until one of them is Reseeded or run. Branching a warmed
+// system once per seed is how sweeps skip re-simulating the warm-up
+// (see RunConfig and cmd/esfarmd). rec is the branch's trace recorder
+// (nil for none).
+func (s *System) Branch(rec *TraceRecorder) (*System, error) {
+	m, err := s.m.Branch(rec)
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m, catalog: s.catalog}, nil
+}
+
+// Reseed re-randomizes the system's future without touching its
+// present: all random streams (scheduler noise, workload phase
+// wanderings, fault injection) are folded with seed, so branches
+// reseeded differently diverge while branches sharing a seed stay
+// bit-exact. Deterministic: reseeding equal states with equal seeds
+// yields equal states.
+func (s *System) Reseed(seed uint64) { s.m.Reseed(seed) }

@@ -45,8 +45,11 @@ import (
 	"strings"
 	"time"
 
+	"energysched/internal/cliflags"
+	"energysched/internal/experiments"
 	"energysched/internal/machine"
 	"energysched/internal/machine/benchscen"
+	"energysched/internal/scenario"
 )
 
 // Result is one benchmark measurement.
@@ -63,6 +66,9 @@ type Result struct {
 	// CPUMSPerS is simulated CPU-milliseconds per wall second — the
 	// throughput metric the engine benchmarks report.
 	CPUMSPerS float64 `json:"cpu_ms_per_s"`
+	// SpeedupVsRebuild is set only on the farm/warm-branch row: wall
+	// time of the rebuild-per-seed sweep over the warm-branched sweep.
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild,omitempty"`
 }
 
 // Report is the document esbench writes. GitSHA, GoVersion, and the
@@ -141,23 +147,51 @@ func measure(sc benchscen.Scenario, e machine.Engine, minTime time.Duration) Res
 	}
 }
 
-func parseEngines(s string) ([]machine.Engine, error) {
-	var out []machine.Engine
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		e, err := machine.ParseEngine(name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, e)
+// measureWarmBranch times the checkpoint-branched seed sweep against
+// the rebuild-per-seed plan it replaces (see experiments.SeedSweep /
+// SeedSweepRebuild): rebuild pays seeds×(warmup+measure) of simulation,
+// warm-branch pays warmup once plus seeds×measure. The row's ns/op is
+// the warm sweep's wall time per seed; SpeedupVsRebuild records the
+// amortization the farm's image cache banks on. Sequential (Jobs=1) so
+// the two plans compare simulation work, not pool scheduling.
+func measureWarmBranch(minTime time.Duration) Result {
+	const (
+		warmupMS  = 5_000
+		measureMS = 2_000
+		nSeeds    = 8
+	)
+	spec := scenario.MustNamed("engines/steady-state")
+	rc := experiments.RunConfig{Jobs: 1, Engine: machine.EngineBatched}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no engines selected")
+	run := func(f func() error) time.Duration {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, "esbench: farm/warm-branch:", err)
+			os.Exit(1)
+		}
+		return time.Since(start)
 	}
-	return out, nil
+	iters := 0
+	var rebuild, warm time.Duration
+	start := time.Now()
+	for time.Since(start) < minTime || iters == 0 {
+		rebuild += run(func() error { _, err := rc.SeedSweepRebuild(spec, warmupMS, measureMS, seeds); return err })
+		warm += run(func() error { _, err := rc.SeedSweep(spec, warmupMS, measureMS, seeds); return err })
+		iters++
+	}
+	nCPU := float64(spec.Topology.Layout().NumLogical())
+	return Result{
+		Name:             "farm/warm-branch",
+		Engine:           rc.Engine.String(),
+		Iterations:       iters * nSeeds,
+		NsPerOp:          float64(warm.Nanoseconds()) / float64(iters*nSeeds),
+		SimChunkMS:       measureMS,
+		CPUMSPerS:        float64(iters) * (warmupMS + nSeeds*measureMS) * nCPU / warm.Seconds(),
+		SpeedupVsRebuild: float64(rebuild) / float64(warm),
+	}
 }
 
 // loadBaseline reads a committed BENCH_*.json document.
@@ -331,17 +365,12 @@ func main() {
 	quick := flag.Bool("quick", false, "single iteration per benchmark (CI smoke)")
 	minTime := flag.Duration("time", time.Second, "minimum measuring time per benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
-	enginesFlag := flag.String("engines", "lockstep,batched,async,parallel", "comma-separated engines to benchmark")
+	engines := cliflags.Engines(nil)
 	compareTo := flag.String("compare", "", "baseline BENCH_*.json to gate this run against")
 	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails the -compare gate")
 	trendDir := flag.String("trend", "", "directory of committed BENCH_*.json files to print drift against")
 	flag.Parse()
 
-	engines, err := parseEngines(*enginesFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "esbench:", err)
-		os.Exit(2)
-	}
 	mt := *minTime
 	if *quick {
 		mt = 0 // one iteration
@@ -356,7 +385,7 @@ func main() {
 		Quick:     *quick,
 	}
 	for _, sc := range benchscen.All() {
-		for _, e := range engines {
+		for _, e := range *engines {
 			if sc.Skips(e) {
 				continue
 			}
@@ -365,6 +394,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-28s %-9s %3d iters  %12.0f ns/op  %14.0f cpu-ms/s\n",
 				r.Name, r.Engine, r.Iterations, r.NsPerOp, r.CPUMSPerS)
 		}
+	}
+	{
+		r := measureWarmBranch(mt)
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		fmt.Fprintf(os.Stderr, "%-28s %-9s %3d iters  %12.0f ns/op  %6.2fx vs rebuild\n",
+			r.Name, r.Engine, r.Iterations, r.NsPerOp, r.SpeedupVsRebuild)
 	}
 
 	path := *out

@@ -35,9 +35,9 @@
 //	-seed N      random seed (default 2006)
 //	-quick       shortened runs (~4× faster, noisier)
 //	-csv         emit raw series as CSV instead of ASCII charts
-//	-engine E    simulation engine: lockstep, batched (default), or
-//	             async — the engines produce identical results, so any
-//	             experiment can be reproduced on any core
+//	-engine E    simulation engine: lockstep, batched (default),
+//	             async, or parallel — the engines produce identical
+//	             results, so any experiment can run on any of them
 //	-governor G  DVFS governor highlighted by the dvfs experiment:
 //	             performance, ondemand (default), or thermal
 //	-j N         worker goroutines for independent experiment runs
@@ -52,6 +52,7 @@ import (
 	"os"
 	"strings"
 
+	"energysched/internal/cliflags"
 	"energysched/internal/experiments"
 	"energysched/internal/stats"
 	"energysched/internal/textplot"
@@ -61,19 +62,23 @@ func main() {
 	seed := flag.Uint64("seed", 2006, "random seed")
 	quick := flag.Bool("quick", false, "shortened runs")
 	csv := flag.Bool("csv", false, "emit raw CSV series")
-	engine := experiments.EngineFlag(nil)
-	governor := experiments.GovernorFlag(nil)
-	jobs := experiments.JobsFlag(nil)
+	engine := cliflags.Engine(nil)
+	governor := cliflags.Governor(nil)
+	jobs := cliflags.Jobs(nil)
 	flag.Usage = usage
 	flag.Parse()
-	experiments.Engine = *engine
-	experiments.Jobs = *jobs
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-	r := runner{seed: *seed, quick: *quick, csv: *csv, governor: *governor}
+	r := runner{
+		rc:       experiments.RunConfig{Jobs: *jobs, Engine: *engine},
+		seed:     *seed,
+		quick:    *quick,
+		csv:      *csv,
+		governor: *governor,
+	}
 	if !r.run(cmd) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", cmd)
 		usage()
@@ -82,11 +87,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async] [-governor G] [-j N] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: espower [-seed N] [-quick] [-csv] [-engine lockstep|batched|async|parallel] [-governor G] [-j N] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments: table1 table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 hotspeed migrations ablation cmp policies units dvfs misestimate sweeps all")
 }
 
 type runner struct {
+	rc       experiments.RunConfig
 	seed     uint64
 	quick    bool
 	csv      bool
@@ -126,7 +132,7 @@ func (r runner) run(cmd string) bool {
 		cfg.Seed = r.seed
 		cfg.WarmupMS = r.scale(cfg.WarmupMS)
 		cfg.MeasureMS = r.scale(cfg.MeasureMS)
-		res, err := experiments.Table3(cfg)
+		res, err := r.rc.Table3(cfg)
 		if err != nil {
 			fail(err)
 		}
@@ -149,7 +155,7 @@ func (r runner) run(cmd string) bool {
 		cfg := experiments.DefaultThermalTraceConfig(cmd == "fig7")
 		cfg.Seed = r.seed
 		cfg.DurationMS = r.scale(cfg.DurationMS)
-		res := experiments.ThermalTrace(cfg)
+		res := r.rc.ThermalTrace(cfg)
 		if r.csv {
 			for _, s := range res.Series {
 				fmt.Print(s.CSV())
@@ -172,7 +178,7 @@ func (r runner) run(cmd string) bool {
 		cfg.Seed = r.seed
 		cfg.WarmupMS = r.scale(cfg.WarmupMS)
 		cfg.MeasureMS = r.scale(cfg.MeasureMS)
-		points, err := experiments.Figure8(cfg)
+		points, err := r.rc.Figure8(cfg)
 		if err != nil {
 			fail(err)
 		}
@@ -185,7 +191,7 @@ func (r runner) run(cmd string) bool {
 		}
 		fmt.Print(textplot.Bars(labels, values, "%", 40))
 	case "fig9":
-		res := experiments.Figure9(r.seed, r.scale(200000))
+		res := r.rc.Figure9(r.seed, r.scale(200000))
 		fmt.Print(experiments.FormatFigure9(res))
 		if !r.csv {
 			s := stats.NewSeries("cpu", 1)
@@ -202,7 +208,7 @@ func (r runner) run(cmd string) bool {
 		cfg.Seed = r.seed
 		cfg.WarmupMS = r.scale(cfg.WarmupMS)
 		cfg.MeasureMS = r.scale(cfg.MeasureMS)
-		points, err := experiments.Figure10(cfg)
+		points, err := r.rc.Figure10(cfg)
 		if err != nil {
 			fail(err)
 		}
@@ -216,10 +222,10 @@ func (r runner) run(cmd string) bool {
 		fmt.Print(textplot.Bars(labels, values, "%", 40))
 	case "hotspeed":
 		work := float64(r.scale(60000))
-		fmt.Print(experiments.FormatHotTaskSpeedup(experiments.HotTaskSpeedup(r.seed, 40, work)))
-		fmt.Print(experiments.FormatHotTaskSpeedup(experiments.HotTaskSpeedup(r.seed, 50, work)))
+		fmt.Print(experiments.FormatHotTaskSpeedup(r.rc.HotTaskSpeedup(r.seed, 40, work)))
+		fmt.Print(experiments.FormatHotTaskSpeedup(r.rc.HotTaskSpeedup(r.seed, 50, work)))
 	case "migrations":
-		mc, err := experiments.MigrationCounts(r.seed, r.scale(900000))
+		mc, err := r.rc.MigrationCounts(r.seed, r.scale(900000))
 		if err != nil {
 			fail(err)
 		}
@@ -227,17 +233,17 @@ func (r runner) run(cmd string) bool {
 		fmt.Printf("  SMT off: %4d disabled, %4d enabled   (paper: 3.3 vs 32)\n", mc.SMTOffDisabled, mc.SMTOffEnabled)
 		fmt.Printf("  SMT on:  %4d disabled, %4d enabled   (paper: 9.8 vs 87)\n", mc.SMTOnDisabled, mc.SMTOnEnabled)
 	case "ablation":
-		rows := experiments.AblationBalancerMetrics(r.seed, r.scale(300000))
+		rows := r.rc.AblationBalancerMetrics(r.seed, r.scale(300000))
 		fmt.Print(experiments.FormatAblation(rows))
-		p := experiments.AblationPlacement(r.seed, r.scale(180000))
+		p := r.rc.AblationPlacement(r.seed, r.scale(180000))
 		fmt.Printf("placement ablation (short tasks): full %+.1f%%, placement-only %+.1f%%, balancing-only %+.1f%%\n",
 			p.GainFullPolicy*100, p.GainPlacementOnly*100, p.GainBalancingOnly*100)
 	case "cmp":
-		fmt.Print(experiments.FormatCMP(experiments.CMPHotTask(r.seed, r.scale(180000))))
+		fmt.Print(experiments.FormatCMP(r.rc.CMPHotTask(r.seed, r.scale(180000))))
 	case "policies":
-		fmt.Print(experiments.FormatPolicyComparison(experiments.PolicyComparison(r.seed, r.scale(240000))))
+		fmt.Print(experiments.FormatPolicyComparison(r.rc.PolicyComparison(r.seed, r.scale(240000))))
 	case "units":
-		fmt.Print(experiments.FormatUnitAware(experiments.UnitAware(r.seed, r.scale(240000))))
+		fmt.Print(experiments.FormatUnitAware(r.rc.UnitAware(r.seed, r.scale(240000))))
 	case "dvfs":
 		cfg := experiments.DefaultDVFSComparisonConfig()
 		cfg.Seed = r.seed
@@ -250,26 +256,26 @@ func (r runner) run(cmd string) bool {
 			}
 		}
 		cfg.Governors = govs
-		fmt.Print(experiments.FormatDVFSComparison(experiments.DVFSvsThrottle(cfg)))
+		fmt.Print(experiments.FormatDVFSComparison(r.rc.DVFSvsThrottle(cfg)))
 	case "misestimate":
 		cfg := experiments.DefaultMisestimateConfig()
 		cfg.Seed = r.seed
 		cfg.WorkMS = float64(r.scale(int64(cfg.WorkMS)))
-		fmt.Print(experiments.FormatMisestimate(experiments.Misestimate(cfg)))
+		fmt.Print(experiments.FormatMisestimate(r.rc.Misestimate(cfg)))
 	case "sweeps":
-		hyst, err := experiments.SweepHysteresis(r.seed, r.scale(300000))
+		hyst, err := r.rc.SweepHysteresis(r.seed, r.scale(300000))
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatHysteresis(hyst))
 		fmt.Println()
-		taus, err := experiments.SweepTimeConstant(r.seed, r.scale(300000))
+		taus, err := r.rc.SweepTimeConstant(r.seed, r.scale(300000))
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatTimeConstant(taus))
 		fmt.Println()
-		gaps, err := experiments.SweepDestGap(r.seed, r.scale(300000))
+		gaps, err := r.rc.SweepDestGap(r.seed, r.scale(300000))
 		if err != nil {
 			fail(err)
 		}

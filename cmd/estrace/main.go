@@ -7,9 +7,13 @@
 //
 // Usage:
 //
-//	estrace [-scenario hottask|mixed|cmp|dvfs|faults] [-engine lockstep|batched|async]
+//	estrace [-scenario hottask|mixed|cmp|dvfs|faults] [-engine lockstep|batched|async|parallel]
 //	        [-governor performance|ondemand|thermal]
 //	        [-duration 60s] [-seed N] [-format csv|jsonl]
+//
+// The scenario definitions are the shared catalog in internal/scenario
+// — the same "hottask" here, in esfarmd, and in a JSON spec file is the
+// same machine.
 package main
 
 import (
@@ -18,31 +22,24 @@ import (
 	"os"
 	"time"
 
-	"energysched/internal/dvfs"
-	"energysched/internal/experiments"
-	"energysched/internal/faults"
+	"energysched/internal/cliflags"
 	"energysched/internal/machine"
-	"energysched/internal/sched"
-	"energysched/internal/thermal"
-	"energysched/internal/topology"
+	"energysched/internal/scenario"
 	"energysched/internal/trace"
-	"energysched/internal/workload"
-
-	"energysched/internal/energy"
 )
 
 func main() {
-	scenario := flag.String("scenario", "hottask", "scenario: hottask, mixed, cmp, dvfs, or faults")
+	name := flag.String("scenario", "hottask", "scenario: hottask, mixed, cmp, dvfs, or faults")
 	duration := flag.Duration("duration", 60*time.Second, "simulated duration")
 	seed := flag.Uint64("seed", 7, "random seed")
 	format := flag.String("format", "csv", "output format: csv or jsonl")
 	limit := flag.Int("limit", 0, "retain at most N events (0 = all)")
-	engine := experiments.EngineFlag(nil)
-	governor := experiments.GovernorFlag(nil)
+	engine := cliflags.Engine(nil)
+	governor := cliflags.Governor(nil)
 	flag.Parse()
 
 	rec := trace.New(*limit)
-	m, err := build(*scenario, *seed, rec, *engine, *governor)
+	m, err := build(*name, *seed, rec, *engine, *governor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -66,137 +63,18 @@ func main() {
 	}
 }
 
-// build assembles the requested scenario machine with tracing attached,
+// build assembles the requested catalog scenario with tracing attached,
 // running on the requested simulation engine (the engines produce
 // identical traces; see machine.TestEngineEquivalence). governor only
 // affects the dvfs scenario.
 func build(name string, seed uint64, rec *trace.Recorder, engine machine.Engine, governor string) (*machine.Machine, error) {
-	cat := workload.NewCatalog(energy.DefaultTrueModel())
-	uniform := func(n int, r float64) []thermal.Properties {
-		props := make([]thermal.Properties, n)
-		for i := range props {
-			props[i] = thermal.Properties{R: r, C: 15 / r, AmbientC: 25}
-		}
-		return props
+	spec, err := scenario.Named(name)
+	if err != nil {
+		return nil, err
 	}
-	switch name {
-	case "hottask":
-		// The §6.4 / Fig. 9 setup: one bitcnts, 40 W packages, SMT on.
-		m, err := machine.New(machine.Config{
-			Engine:           engine,
-			Layout:           topology.XSeries445(),
-			Sched:            sched.DefaultConfig(),
-			Seed:             seed,
-			PackageProps:     uniform(8, 0.2),
-			PackageMaxPowerW: []float64{40},
-			ThrottleEnabled:  true,
-			Scope:            machine.ThrottlePerPackage,
-			Trace:            rec,
-		})
-		if err != nil {
-			return nil, err
-		}
-		m.Spawn(cat.Bitcnts())
-		return m, nil
-	case "mixed":
-		// The §6.1 mixed workload with energy balancing, SMT off.
-		m, err := machine.New(machine.Config{
-			Engine:           engine,
-			Layout:           topology.XSeries445NoSMT(),
-			Sched:            sched.DefaultConfig(),
-			Seed:             seed,
-			PackageProps:     uniform(8, 0.2),
-			PackageMaxPowerW: []float64{60},
-			Trace:            rec,
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range cat.Table2Set() {
-			m.SpawnN(p, 3)
-		}
-		return m, nil
-	case "cmp":
-		// The §7 CMP extension: one hot task on dual-core chips.
-		m, err := machine.New(machine.Config{
-			Engine:           engine,
-			Layout:           topology.CMP2x2(),
-			Sched:            sched.DefaultConfig(),
-			Seed:             seed,
-			PackageProps:     uniform(2, 0.1),
-			PackageMaxPowerW: []float64{100},
-			ThrottleEnabled:  true,
-			Scope:            machine.ThrottlePerCore,
-			Trace:            rec,
-		})
-		if err != nil {
-			return nil, err
-		}
-		m.Spawn(cat.Bitcnts())
-		return m, nil
-	case "dvfs":
-		// Frequency scaling on the hot-task machine: one bitcnts plus
-		// interactive tasks, the selected governor picking P-states
-		// (pstate events land in the trace), throttle armed as
-		// backstop.
-		m, err := machine.New(machine.Config{
-			Engine:           engine,
-			Layout:           topology.XSeries445NoSMT(),
-			Sched:            sched.DefaultConfig(),
-			Seed:             seed,
-			PackageProps:     uniform(8, 0.2),
-			PackageMaxPowerW: []float64{40},
-			ThrottleEnabled:  true,
-			Scope:            machine.ThrottlePerLogical,
-			DVFS:             &dvfs.Config{Governor: governor},
-			Trace:            rec,
-		})
-		if err != nil {
-			return nil, err
-		}
-		m.Spawn(cat.Bitcnts())
-		m.SpawnN(cat.Bash(), 2)
-		m.SpawnN(cat.Sshd(), 2)
-		return m, nil
-	case "faults":
-		// The robustness loop end to end: under-reporting drifting
-		// weights on the hot-task machine, online recalibration from
-		// the (noisy, occasionally dropped) thermal diode, and the
-		// fallback armed — drift/recal/fallback_on/fallback_off events
-		// land in the trace alongside the throttle transitions they
-		// cause.
-		m, err := machine.New(machine.Config{
-			Engine:           engine,
-			Layout:           topology.XSeries445NoSMT(),
-			Sched:            sched.DefaultConfig(),
-			Seed:             seed,
-			PackageProps:     uniform(8, 0.2),
-			PackageMaxPowerW: []float64{40},
-			ThrottleEnabled:  true,
-			Scope:            machine.ThrottlePerPackage,
-			Trace:            rec,
-			Faults: &faults.Spec{
-				WeightScale:       []float64{0.7},
-				DriftPeriodMS:     2000,
-				DriftFactor:       []float64{0.97},
-				DriftSteps:        10,
-				RecalPeriodMS:     250,
-				RecalRate:         0.2,
-				RecalWarmup:       1,
-				DiodeNoiseC:       0.3,
-				SampleDropP:       0.1,
-				FallbackResidualW: 25,
-				FallbackAfter:     3,
-				FallbackRecovery:  4,
-				FallbackScale:     0.5,
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		m.SpawnN(cat.Bitcnts(), 4)
-		m.SpawnN(cat.Sshd(), 2)
-		return m, nil
+	spec.Seed = seed
+	if spec.DVFS != nil {
+		spec.DVFS.Governor = governor
 	}
-	return nil, fmt.Errorf("unknown scenario %q (want hottask, mixed, cmp, dvfs, or faults)", name)
+	return spec.Build(engine, rec)
 }

@@ -1,0 +1,139 @@
+// Package cliflags is the shared CLI flag plumbing of the tools
+// (cmd/espower, cmd/esbench, cmd/estrace, cmd/esfuzz, cmd/esfarmd):
+// every tool that selects a simulation engine, a DVFS governor, or a
+// worker count registers the flag here, so the accepted values, the
+// help text, and the validation live in exactly one place. Invalid
+// values surface through the flag package's usual parse error (exit
+// status 2).
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"energysched/internal/dvfs"
+	"energysched/internal/machine"
+)
+
+type engineFlag struct{ e *machine.Engine }
+
+func (f engineFlag) String() string {
+	if f.e == nil {
+		// Zero value: empty, so flag.PrintDefaults still shows the
+		// registered default ("batched") in -h output.
+		return ""
+	}
+	return f.e.String()
+}
+
+func (f engineFlag) Set(s string) error {
+	e, err := machine.ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	*f.e = e
+	return nil
+}
+
+// Engine registers the standard -engine flag on fs (nil selects
+// flag.CommandLine) and returns the destination, defaulting to the
+// batched engine.
+func Engine(fs *flag.FlagSet) *machine.Engine {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	e := new(machine.Engine)
+	*e = machine.EngineBatched
+	fs.Var(engineFlag{e}, "engine", "simulation engine: lockstep, batched, async, or parallel")
+	return e
+}
+
+type enginesFlag struct{ es *[]machine.Engine }
+
+func (f enginesFlag) String() string {
+	if f.es == nil {
+		return ""
+	}
+	names := make([]string, len(*f.es))
+	for i, e := range *f.es {
+		names[i] = e.String()
+	}
+	return strings.Join(names, ",")
+}
+
+func (f enginesFlag) Set(s string) error {
+	var out []machine.Engine
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := machine.ParseEngine(part)
+		if err != nil {
+			return err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("no engines in %q", s)
+	}
+	*f.es = out
+	return nil
+}
+
+// Engines registers the -engines flag (comma-separated engine list) on
+// fs (nil selects flag.CommandLine), defaulting to all four engines.
+func Engines(fs *flag.FlagSet) *[]machine.Engine {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	es := &[]machine.Engine{machine.EngineLockstep, machine.EngineBatched, machine.EngineAsync, machine.EngineParallel}
+	fs.Var(enginesFlag{es}, "engines", "comma-separated engines to run (lockstep,batched,async,parallel)")
+	return es
+}
+
+type governorFlag struct{ g *string }
+
+func (f governorFlag) String() string {
+	if f.g == nil {
+		// Zero value: empty, so flag.PrintDefaults still shows the
+		// registered default ("ondemand") in -h output.
+		return ""
+	}
+	return *f.g
+}
+
+func (f governorFlag) Set(s string) error {
+	g, err := dvfs.ParseGovernor(s)
+	if err != nil {
+		return err
+	}
+	*f.g = g
+	return nil
+}
+
+// Governor registers the standard -governor flag on fs (nil selects
+// flag.CommandLine) and returns the destination, defaulting to the
+// ondemand governor.
+func Governor(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	g := new(string)
+	*g = "ondemand"
+	fs.Var(governorFlag{g}, "governor",
+		"DVFS governor for frequency-scaling runs: "+strings.Join(dvfs.GovernorNames(), ", "))
+	return g
+}
+
+// Jobs registers the standard -j flag on fs (nil selects
+// flag.CommandLine) and returns the destination; 0 (the default) means
+// GOMAXPROCS.
+func Jobs(fs *flag.FlagSet) *int {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Int("j", 0,
+		"worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+}

@@ -26,7 +26,7 @@ type AblationResult struct {
 // power-only "easily lead[s to] ping-pong effects"; thermal-only
 // "tend[s] to over-balance". Both pathologies appear as a migration
 // count far above the combined policy's.
-func AblationBalancerMetrics(seed uint64, durationMS int64) []AblationResult {
+func (rc RunConfig) AblationBalancerMetrics(seed uint64, durationMS int64) []AblationResult {
 	modes := []struct {
 		name   string
 		metric sched.BalanceMetric
@@ -40,7 +40,7 @@ func AblationBalancerMetrics(seed uint64, durationMS int64) []AblationResult {
 		pol := sched.DefaultConfig()
 		pol.Metric = mode.metric
 		layout := xseriesNoSMT()
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           layout,
 			Sched:            pol,
 			Seed:             seed,
@@ -107,13 +107,13 @@ type AblationPlacementResult struct {
 
 // AblationPlacement isolates the contribution of each mechanism on the
 // §6.2 short-task workload.
-func AblationPlacement(seed uint64, measureMS int64) AblationPlacementResult {
+func (rc RunConfig) AblationPlacement(seed uint64, measureMS int64) AblationPlacementResult {
 	run := func(pol sched.Config) float64 {
 		est, err := CalibratedEstimator(seed)
 		if err != nil {
 			panic(err)
 		}
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:          xseriesSMT(),
 			Sched:           pol,
 			Seed:            seed,

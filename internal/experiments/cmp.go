@@ -44,10 +44,10 @@ func cmpLayout() topology.Layout { return topology.CMP2x2() }
 // hot task migration the task rotates between cores — preferring the
 // own chip's other core when it has cooled enough, crossing chips
 // otherwise — and escapes throttling.
-func CMPHotTask(seed uint64, durationMS int64) CMPResult {
+func (rc RunConfig) CMPHotTask(seed uint64, durationMS int64) CMPResult {
 	layout := cmpLayout()
 	mk := func(pol sched.Config) *machine.Machine {
-		return newMachine(machine.Config{
+		return rc.newMachine(machine.Config{
 			Layout:           layout,
 			Sched:            pol,
 			Seed:             seed,
@@ -91,8 +91,8 @@ func CMPHotTask(seed uint64, durationMS int64) CMPResult {
 
 	// Thermal-stress demonstration: two hot tasks sharing a chip run
 	// hotter than two on separate chips at identical total power.
-	res.CoupledTempC = cmpPairTemp(seed, true)
-	res.IsolatedTempC = cmpPairTemp(seed, false)
+	res.CoupledTempC = rc.cmpPairTemp(seed, true)
+	res.IsolatedTempC = rc.cmpPairTemp(seed, false)
 	return res
 }
 
@@ -100,12 +100,12 @@ func CMPHotTask(seed uint64, durationMS int64) CMPResult {
 // the same chip when shared is true, on different chips otherwise — and
 // returns the hottest core temperature after thermal settling. No
 // throttling, no migration: this isolates the coupling physics.
-func cmpPairTemp(seed uint64, shared bool) float64 {
+func (rc RunConfig) cmpPairTemp(seed uint64, shared bool) float64 {
 	layout := cmpLayout()
 	pol := sched.BaselineConfig()
 	pol.HotCheckPeriodMS = 0
 	pol.BalancePeriodMS = 0
-	m := newMachine(machine.Config{
+	m := rc.newMachine(machine.Config{
 		Layout:       layout,
 		Sched:        pol,
 		Seed:         seed,

@@ -1,0 +1,93 @@
+package experiments
+
+// Package-level experiment wrappers, kept so callers written against
+// the pre-RunConfig API keep working. Each snapshots the deprecated
+// Jobs/Engine globals via LegacyRunConfig and delegates to the
+// RunConfig method of the same name.
+//
+// Deprecated: call the methods on an explicit RunConfig instead.
+
+// Deprecated: use RunConfig.AblationBalancerMetrics.
+func AblationBalancerMetrics(seed uint64, durationMS int64) []AblationResult {
+	return LegacyRunConfig().AblationBalancerMetrics(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.AblationPlacement.
+func AblationPlacement(seed uint64, measureMS int64) AblationPlacementResult {
+	return LegacyRunConfig().AblationPlacement(seed, measureMS)
+}
+
+// Deprecated: use RunConfig.CMPHotTask.
+func CMPHotTask(seed uint64, durationMS int64) CMPResult {
+	return LegacyRunConfig().CMPHotTask(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.DVFSvsThrottle.
+func DVFSvsThrottle(cfg DVFSComparisonConfig) DVFSComparisonResult {
+	return LegacyRunConfig().DVFSvsThrottle(cfg)
+}
+
+// Deprecated: use RunConfig.ThermalTrace.
+func ThermalTrace(cfg ThermalTraceConfig) ThermalTraceResult {
+	return LegacyRunConfig().ThermalTrace(cfg)
+}
+
+// Deprecated: use RunConfig.MigrationCounts.
+func MigrationCounts(seed uint64, durationMS int64) (MigrationCountsResult, error) {
+	return LegacyRunConfig().MigrationCounts(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.Figure8.
+func Figure8(cfg Figure8Config) ([]Figure8Point, error) {
+	return LegacyRunConfig().Figure8(cfg)
+}
+
+// Deprecated: use RunConfig.Figure9.
+func Figure9(seed uint64, durationMS int64) Figure9Result {
+	return LegacyRunConfig().Figure9(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.Figure10.
+func Figure10(cfg Figure10Config) ([]Figure10Point, error) {
+	return LegacyRunConfig().Figure10(cfg)
+}
+
+// Deprecated: use RunConfig.HotTaskSpeedup.
+func HotTaskSpeedup(seed uint64, budgetW, workMS float64) HotTaskSpeedupResult {
+	return LegacyRunConfig().HotTaskSpeedup(seed, budgetW, workMS)
+}
+
+// Deprecated: use RunConfig.Misestimate.
+func Misestimate(cfg MisestimateConfig) MisestimateResult {
+	return LegacyRunConfig().Misestimate(cfg)
+}
+
+// Deprecated: use RunConfig.PolicyComparison.
+func PolicyComparison(seed uint64, measureMS int64) PolicyComparisonResult {
+	return LegacyRunConfig().PolicyComparison(seed, measureMS)
+}
+
+// Deprecated: use RunConfig.SweepHysteresis.
+func SweepHysteresis(seed uint64, durationMS int64) ([]HysteresisPoint, error) {
+	return LegacyRunConfig().SweepHysteresis(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.SweepTimeConstant.
+func SweepTimeConstant(seed uint64, durationMS int64) ([]TimeConstantPoint, error) {
+	return LegacyRunConfig().SweepTimeConstant(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.SweepDestGap.
+func SweepDestGap(seed uint64, durationMS int64) ([]DestGapPoint, error) {
+	return LegacyRunConfig().SweepDestGap(seed, durationMS)
+}
+
+// Deprecated: use RunConfig.Table3.
+func Table3(cfg Table3Config) (Table3Result, error) {
+	return LegacyRunConfig().Table3(cfg)
+}
+
+// Deprecated: use RunConfig.UnitAware.
+func UnitAware(seed uint64, measureMS int64) UnitAwareResult {
+	return LegacyRunConfig().UnitAware(seed, measureMS)
+}

@@ -95,9 +95,9 @@ type DVFSComparisonResult struct {
 // thermal governor pre-empts the throttle entirely; ondemand ignores
 // heat and degenerates to duty-cycling). Rows report the
 // energy/makespan/temperature triangle plus that mechanism split.
-func DVFSvsThrottle(cfg DVFSComparisonConfig) DVFSComparisonResult {
+func (rc RunConfig) DVFSvsThrottle(cfg DVFSComparisonConfig) DVFSComparisonResult {
 	run := func(policy string, d *dvfs.Config) DVFSRow {
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           xseriesNoSMT(),
 			Sched:            sched.BaselineConfig(),
 			Seed:             cfg.Seed,

@@ -55,19 +55,6 @@ func UniformProps(n int, r float64) []thermal.Properties {
 // Model returns the ground-truth power model shared by all experiments.
 func Model() *energy.TrueModel { return energy.DefaultTrueModel() }
 
-// Engine selects the simulation core every experiment machine runs on.
-// The zero value is the (default) batched engine; cmd/espower's
-// -engine flag sets it so every table and figure can be reproduced on
-// any core — the cross-engine equivalence tests guarantee the numbers
-// do not depend on the choice.
-var Engine machine.Engine
-
-// newMachine builds an experiment machine on the selected engine.
-func newMachine(cfg machine.Config) *machine.Machine {
-	cfg.Engine = Engine
-	return machine.MustNew(cfg)
-}
-
 // Catalog returns the workload catalog over the reference model.
 func Catalog() *workload.Catalog { return workload.NewCatalog(Model()) }
 

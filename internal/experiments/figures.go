@@ -89,7 +89,7 @@ func DefaultThermalTraceConfig(enabled bool) ThermalTraceConfig {
 
 // ThermalTrace runs the §6.1 energy-balancing experiment and samples
 // each CPU's thermal power once per second.
-func ThermalTrace(cfg ThermalTraceConfig) ThermalTraceResult {
+func (rc RunConfig) ThermalTrace(cfg ThermalTraceConfig) ThermalTraceResult {
 	layout := xseriesNoSMT()
 	if cfg.SMT {
 		layout = xseriesSMT()
@@ -98,7 +98,7 @@ func ThermalTrace(cfg ThermalTraceConfig) ThermalTraceResult {
 	if cfg.EnergyBalancing {
 		pol = sched.DefaultConfig()
 	}
-	m := newMachine(machine.Config{
+	m := rc.newMachine(machine.Config{
 		Layout:           layout,
 		Sched:            pol,
 		Seed:             cfg.Seed,
@@ -145,17 +145,17 @@ type MigrationCountsResult struct {
 
 // MigrationCounts runs the four §6.1 configurations. durationMS is the
 // run length (the paper uses 15 minutes).
-func MigrationCounts(seed uint64, durationMS int64) (MigrationCountsResult, error) {
+func (rc RunConfig) MigrationCounts(seed uint64, durationMS int64) (MigrationCountsResult, error) {
 	run := func(smt, enabled bool) int64 {
 		cfg := ThermalTraceConfig{Seed: seed, DurationMS: durationMS, SMT: smt, EnergyBalancing: enabled, PerProgram: 3}
 		if smt {
 			cfg.PerProgram = 6 // §6.1: "we started each program six times, for a total of 36 tasks"
 		}
-		return ThermalTrace(cfg).Migrations
+		return rc.ThermalTrace(cfg).Migrations
 	}
 	grid := []struct{ smt, enabled bool }{{false, false}, {false, true}, {true, false}, {true, true}}
 	counts := make([]int64, len(grid))
-	if err := forEach(len(grid), func(i int) { counts[i] = run(grid[i].smt, grid[i].enabled) }); err != nil {
+	if err := rc.ForEach(len(grid), func(i int) { counts[i] = run(grid[i].smt, grid[i].enabled) }); err != nil {
 		return MigrationCountsResult{}, err
 	}
 	return MigrationCountsResult{
@@ -207,17 +207,17 @@ func Figure8Scenarios() []Figure8Point {
 // increase of energy-aware scheduling over the baseline (§6.3): the
 // benefit is largest for heterogeneous mixes and vanishes for the
 // homogeneous one.
-func Figure8(cfg Figure8Config) ([]Figure8Point, error) {
+func (rc RunConfig) Figure8(cfg Figure8Config) ([]Figure8Point, error) {
 	points := Figure8Scenarios()
 	cat := Catalog()
-	err := forEach(len(points), func(i int) {
+	err := rc.ForEach(len(points), func(i int) {
 		pt := &points[i]
 		run := func(pol sched.Config) *machine.Machine {
 			est, err := CalibratedEstimator(cfg.Seed)
 			if err != nil {
 				panic(err)
 			}
-			m := newMachine(machine.Config{
+			m := rc.newMachine(machine.Config{
 				Layout:          xseriesNoSMT(),
 				Sched:           pol,
 				Seed:            cfg.Seed + uint64(i),

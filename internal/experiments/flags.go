@@ -2,94 +2,22 @@ package experiments
 
 import (
 	"flag"
-	"strings"
 
-	"energysched/internal/dvfs"
+	"energysched/internal/cliflags"
 	"energysched/internal/machine"
 )
 
-// Shared CLI flag plumbing for the tools (cmd/espower, cmd/estrace,
-// cmd/escalibrate): every tool that selects a simulation engine or a
-// DVFS governor registers the flag here, so the accepted values, the
-// help text, and the validation live in exactly one place. Invalid
-// values surface through the flag package's usual parse error (exit
-// status 2).
+// EngineFlag registers the standard -engine flag.
+//
+// Deprecated: use cliflags.Engine. This shim delegates there.
+func EngineFlag(fs *flag.FlagSet) *machine.Engine { return cliflags.Engine(fs) }
 
-type engineFlag struct{ e *machine.Engine }
+// GovernorFlag registers the standard -governor flag.
+//
+// Deprecated: use cliflags.Governor. This shim delegates there.
+func GovernorFlag(fs *flag.FlagSet) *string { return cliflags.Governor(fs) }
 
-func (f engineFlag) String() string {
-	if f.e == nil {
-		// Zero value: empty, so flag.PrintDefaults still shows the
-		// registered default ("batched") in -h output.
-		return ""
-	}
-	return f.e.String()
-}
-
-func (f engineFlag) Set(s string) error {
-	e, err := machine.ParseEngine(s)
-	if err != nil {
-		return err
-	}
-	*f.e = e
-	return nil
-}
-
-// EngineFlag registers the standard -engine flag on fs (nil selects
-// flag.CommandLine) and returns the destination, defaulting to the
-// batched engine.
-func EngineFlag(fs *flag.FlagSet) *machine.Engine {
-	if fs == nil {
-		fs = flag.CommandLine
-	}
-	e := new(machine.Engine)
-	*e = machine.EngineBatched
-	fs.Var(engineFlag{e}, "engine", "simulation engine: lockstep, batched, async, or parallel")
-	return e
-}
-
-type governorFlag struct{ g *string }
-
-func (f governorFlag) String() string {
-	if f.g == nil {
-		// Zero value: empty, so flag.PrintDefaults still shows the
-		// registered default ("ondemand") in -h output.
-		return ""
-	}
-	return *f.g
-}
-
-func (f governorFlag) Set(s string) error {
-	g, err := dvfs.ParseGovernor(s)
-	if err != nil {
-		return err
-	}
-	*f.g = g
-	return nil
-}
-
-// GovernorFlag registers the standard -governor flag on fs (nil
-// selects flag.CommandLine) and returns the destination, defaulting to
-// the ondemand governor.
-func GovernorFlag(fs *flag.FlagSet) *string {
-	if fs == nil {
-		fs = flag.CommandLine
-	}
-	g := new(string)
-	*g = "ondemand"
-	fs.Var(governorFlag{g}, "governor",
-		"DVFS governor for frequency-scaling runs: "+strings.Join(dvfs.GovernorNames(), ", "))
-	return g
-}
-
-// JobsFlag registers the standard -j flag on fs (nil selects
-// flag.CommandLine) and returns the destination; 0 (the default) means
-// GOMAXPROCS. The caller assigns the parsed value to Jobs after
-// flag.Parse.
-func JobsFlag(fs *flag.FlagSet) *int {
-	if fs == nil {
-		fs = flag.CommandLine
-	}
-	return fs.Int("j", 0,
-		"worker goroutines for independent experiment runs (0 = GOMAXPROCS, 1 = sequential)")
-}
+// JobsFlag registers the standard -j worker-count flag.
+//
+// Deprecated: use cliflags.Jobs. This shim delegates there.
+func JobsFlag(fs *flag.FlagSet) *int { return cliflags.Jobs(fs) }

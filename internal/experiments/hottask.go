@@ -33,9 +33,9 @@ type Figure9Result struct {
 // coolest package of its node roughly every ten seconds, visiting the
 // node's packages round-robin, never its own sibling and never the
 // other node.
-func Figure9(seed uint64, durationMS int64) Figure9Result {
+func (rc RunConfig) Figure9(seed uint64, durationMS int64) Figure9Result {
 	layout := xseriesSMT()
-	m := newMachine(machine.Config{
+	m := rc.newMachine(machine.Config{
 		Layout:           layout,
 		Sched:            sched.DefaultConfig(),
 		Seed:             seed,
@@ -109,12 +109,12 @@ func DefaultFigure10Config() Figure10Config {
 // measured as steady-state work rate, which in this fixed-work setting
 // is proportional to completions per unit time but free of completion-
 // count quantization.
-func Figure10(cfg Figure10Config) ([]Figure10Point, error) {
+func (rc RunConfig) Figure10(cfg Figure10Config) ([]Figure10Point, error) {
 	out := make([]Figure10Point, cfg.MaxTasks)
-	err := forEach(cfg.MaxTasks, func(i int) {
+	err := rc.ForEach(cfg.MaxTasks, func(i int) {
 		n := i + 1
 		run := func(pol sched.Config) *machine.Machine {
-			m := newMachine(machine.Config{
+			m := rc.newMachine(machine.Config{
 				Layout:           xseriesSMT(),
 				Sched:            pol,
 				Seed:             cfg.Seed + uint64(n),
@@ -166,9 +166,9 @@ type HotTaskSpeedupResult struct {
 // HotTaskSpeedup measures the execution time of a fixed amount of work
 // (workMS of CPU time at full speed) for one bitcnts task, with and
 // without hot task migration, under the given package budget.
-func HotTaskSpeedup(seed uint64, budgetW, workMS float64) HotTaskSpeedupResult {
+func (rc RunConfig) HotTaskSpeedup(seed uint64, budgetW, workMS float64) HotTaskSpeedupResult {
 	exec := func(pol sched.Config) int64 {
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           xseriesSMT(),
 			Sched:            pol,
 			Seed:             seed,

@@ -135,9 +135,9 @@ func misestimateVariants(scale float64) []struct {
 // it compares trusting the bad estimator blindly against recalibrating
 // from the thermal-diode residual, falling back to conservative
 // limits, and both combined.
-func Misestimate(cfg MisestimateConfig) MisestimateResult {
+func (rc RunConfig) Misestimate(cfg MisestimateConfig) MisestimateResult {
 	run := func(scale float64, variant string, spec faults.Spec) MisestimateRow {
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           xseriesNoSMT(),
 			Sched:            sched.DefaultConfig(),
 			Seed:             cfg.Seed,

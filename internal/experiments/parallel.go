@@ -7,27 +7,22 @@ import (
 	"sync"
 )
 
-// Jobs bounds the worker pool forEach uses for independent experiment
-// runs: 0 (the default) means GOMAXPROCS, 1 forces sequential
-// execution, anything larger caps the pool at that many goroutines.
-// Tools expose it as the -j flag (JobsFlag); the library API as
-// SetParallelism.
-var Jobs int
-
-// forEach runs fn(i) for i in [0, n) on a bounded worker pool. Every
+// ForEach runs fn(i) for i in [0, n) on a bounded worker pool of
+// rc.Jobs goroutines (0 = GOMAXPROCS, 1 = sequential). Every
 // experiment invocation owns an independent simulated machine seeded
 // deterministically from its index, and writes its result into its own
 // slot of a pre-sized slice — so parallel execution cannot change any
 // result or its order, it only uses the host's cores to regenerate
 // sweeps (Figs. 8 and 10, the §6.1 migration grid) faster. Output is
-// byte-identical for every worker count.
+// byte-identical for every worker count. The esfarmd sweep daemon
+// reuses the same pool for its per-seed branch runs.
 //
 // A panic inside fn is contained to its slot: the worker recovers,
 // keeps draining the queue (so the feeder never blocks on a dead
-// pool), and forEach reports the panic as an error naming the owning
+// pool), and ForEach reports the panic as an error naming the owning
 // slot. When several slots panic, the lowest index wins, so the error
 // is the same for every worker count.
-func forEach(n int, fn func(i int)) error {
+func (rc RunConfig) ForEach(n int, fn func(i int)) error {
 	var (
 		mu       sync.Mutex
 		firstIdx int
@@ -47,7 +42,7 @@ func forEach(n int, fn func(i int)) error {
 		}()
 		fn(i)
 	}
-	workers := Jobs
+	workers := rc.Jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -10,9 +10,9 @@ import (
 // exactly once for worker counts below, at, and above n.
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, jobs := range []int{0, 1, 2, 7, 64} {
-		Jobs = jobs
+		rc := RunConfig{Jobs: jobs}
 		var hits [33]int32
-		if err := forEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+		if err := rc.ForEach(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
 		for i, h := range hits {
@@ -21,7 +21,6 @@ func TestForEachCoversAllIndices(t *testing.T) {
 			}
 		}
 	}
-	Jobs = 0
 }
 
 // TestForEachPanicSurfacesAsError is the worker-pool robustness
@@ -30,11 +29,10 @@ func TestForEachCoversAllIndices(t *testing.T) {
 // other slot still completes, and the reported slot is the lowest
 // panicking index regardless of worker count.
 func TestForEachPanicSurfacesAsError(t *testing.T) {
-	defer func() { Jobs = 0 }()
 	for _, jobs := range []int{1, 2, 8} {
-		Jobs = jobs
+		rc := RunConfig{Jobs: jobs}
 		var hits [16]int32
-		err := forEach(len(hits), func(i int) {
+		err := rc.ForEach(len(hits), func(i int) {
 			if i == 3 || i == 11 {
 				panic("deliberate scenario failure")
 			}

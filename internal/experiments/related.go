@@ -64,7 +64,7 @@ func (r PolicyComparisonResult) GainAwarePct() float64 {
 // CPU — each poorly cooled CPU gets one hot and one cool task, so
 // hot-task throttling has cool work to favour and energy balancing has
 // heat to move.
-func PolicyComparison(seed uint64, measureMS int64) PolicyComparisonResult {
+func (rc RunConfig) PolicyComparison(seed uint64, measureMS int64) PolicyComparisonResult {
 	layout := topology.Layout{Nodes: 1, PackagesPerNode: 4, ThreadsPerPackage: 1}
 	// Two poor packages (budget ≈ 43 W, below the hot mixes), two good
 	// ones (≈ 87 W, never throttle).
@@ -75,7 +75,7 @@ func PolicyComparison(seed uint64, measureMS int64) PolicyComparisonResult {
 		{R: 0.15, C: 100, AmbientC: 25},
 	}
 	run := func(pol sched.Config, taskThrottling bool) (*machine.Machine, float64) {
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:          layout,
 			Sched:           pol,
 			Seed:            seed,

@@ -30,15 +30,15 @@ type HysteresisPoint struct {
 // with varying hysteresis margins. Small margins buy a marginally
 // tighter band at the cost of steeply more migrations; large margins
 // stop balancing entirely.
-func SweepHysteresis(seed uint64, durationMS int64) ([]HysteresisPoint, error) {
+func (rc RunConfig) SweepHysteresis(seed uint64, durationMS int64) ([]HysteresisPoint, error) {
 	margins := []float64{0, 0.01, 0.03, 0.06, 0.12, 0.25}
 	out := make([]HysteresisPoint, len(margins))
-	err := forEach(len(margins), func(i int) {
+	err := rc.ForEach(len(margins), func(i int) {
 		pol := sched.DefaultConfig()
 		pol.ThermalRatioMargin = margins[i]
 		pol.RQRatioMargin = margins[i]
 		layout := xseriesNoSMT()
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           layout,
 			Sched:            pol,
 			Seed:             seed,
@@ -92,16 +92,16 @@ type TimeConstantPoint struct {
 // different time constants: the migration period scales with τ, because
 // the trigger is the thermal-power metric crossing the budget and the
 // metric is calibrated to the sink's exponential (§4.3).
-func SweepTimeConstant(seed uint64, durationMS int64) ([]TimeConstantPoint, error) {
+func (rc RunConfig) SweepTimeConstant(seed uint64, durationMS int64) ([]TimeConstantPoint, error) {
 	taus := []float64{5, 10, 15, 30, 60}
 	out := make([]TimeConstantPoint, len(taus))
-	err := forEach(len(taus), func(i int) {
+	err := rc.ForEach(len(taus), func(i int) {
 		tau := taus[i]
 		props := make([]thermal.Properties, 8)
 		for p := range props {
 			props[p] = thermal.Properties{R: 0.2, C: tau / 0.2, AmbientC: 25}
 		}
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           xseriesSMT(),
 			Sched:            sched.DefaultConfig(),
 			Seed:             seed,
@@ -153,13 +153,13 @@ type DestGapPoint struct {
 // gap exceeds what a fully cooled package can offer, at which point
 // migration stops entirely and throttling returns. The default (12 W)
 // sits safely inside the flat region.
-func SweepDestGap(seed uint64, durationMS int64) ([]DestGapPoint, error) {
+func (rc RunConfig) SweepDestGap(seed uint64, durationMS int64) ([]DestGapPoint, error) {
 	gaps := []float64{1, 4, 8, 12, 20, 30, 45}
 	out := make([]DestGapPoint, len(gaps))
-	err := forEach(len(gaps), func(i int) {
+	err := rc.ForEach(len(gaps), func(i int) {
 		pol := sched.DefaultConfig()
 		pol.HotDestGapW = gaps[i]
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:           xseriesSMT(),
 			Sched:            pol,
 			Seed:             seed,

@@ -168,13 +168,13 @@ func DefaultTable3Config() Table3Config {
 // It returns the §3.2 calibration error, if any: the experiment's
 // whole point is throttling behaviour under the *estimated* powers, so
 // running it without a calibrated estimator would not be Table 3.
-func Table3(cfg Table3Config) (Table3Result, error) {
+func (rc RunConfig) Table3(cfg Table3Config) (Table3Result, error) {
 	est, err := calibrated(cfg.Seed)
 	if err != nil {
 		return Table3Result{}, fmt.Errorf("experiments: table 3 calibration: %w", err)
 	}
 	run := func(pol sched.Config) *machine.Machine {
-		m := newMachine(machine.Config{
+		m := rc.newMachine(machine.Config{
 			Layout:          xseriesSMT(),
 			Sched:           pol,
 			Seed:            cfg.Seed,

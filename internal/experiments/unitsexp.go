@@ -33,7 +33,7 @@ type UnitAwareResult struct {
 // scalar placement pairs the two integer tasks on one CPU and the two
 // FP tasks on the other — the worst case unit-blind scheduling cannot
 // detect, because every task draws the same 50 W.
-func UnitAware(seed uint64, measureMS int64) UnitAwareResult {
+func (rc RunConfig) UnitAware(seed uint64, measureMS int64) UnitAwareResult {
 	layout := topology.Layout{Nodes: 1, PackagesPerNode: 2, ThreadsPerPackage: 1}
 	run := func(unitAware, throttle bool) (*machine.Machine, int64) {
 		pol := sched.DefaultConfig()
@@ -48,7 +48,7 @@ func UnitAware(seed uint64, measureMS int64) UnitAwareResult {
 			UnitThermal:      true,
 			UnitLimitC:       44,
 		}
-		m := newMachine(cfg)
+		m := rc.newMachine(cfg)
 		cat := Catalog()
 		// Spawn order int, fp, int, fp: the load-spreading placement
 		// puts both integer tasks on CPU 0 and both FP tasks on CPU 1.

@@ -1,0 +1,171 @@
+// Package farm is the esfarmd simulation service: an HTTP/JSON daemon
+// that runs seed sweeps of shared scenarios and streams results. A
+// sweep request names (or inlines) a scenario, an engine, a warm-up
+// length, a measurement window, and a seed list; the daemon warms the
+// scenario once, caches the checkpoint image by content, and measures
+// every seed on an in-memory branch of the restored template — so a
+// thousand-seed sweep pays for one warm-up, and repeated sweeps of the
+// same scenario pay for none.
+//
+// Results stream back as NDJSON in seed order: one header object,
+// then one experiments.SeedRow per seed, then (only on failure) an
+// error object. Rows are byte-identical to the direct, daemon-less
+// execution of the same request (RunConfig.SeedSweepFromImage) — the
+// CI smoke test diffs the two paths.
+package farm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"energysched/internal/machine"
+	"energysched/internal/scenario"
+)
+
+// RequestVersion is the current sweep-request schema version. Requests
+// with Version 0 are read as current; newer versions are rejected.
+const RequestVersion = 1
+
+// SweepRequest is the body of POST /v1/sweep. Exactly one of Name
+// (a scenario.Names catalog entry) or Scenario (an inline spec) must
+// be set.
+type SweepRequest struct {
+	// Version is the request schema version; 0 reads as RequestVersion.
+	Version int `json:"version,omitempty"`
+	// Name selects a catalog scenario (see GET /v1/scenarios).
+	Name string `json:"name,omitempty"`
+	// Scenario is an inline scenario spec.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	// Engine is the simulation engine ("lockstep", "batched", "async",
+	// "parallel"); empty means batched.
+	Engine string `json:"engine,omitempty"`
+	// WarmupMS is simulated once and shared by every seed.
+	WarmupMS int64 `json:"warmup_ms"`
+	// MeasureMS is the per-seed measurement window.
+	MeasureMS int64 `json:"measure_ms"`
+	// Seeds are the divergence seeds; rows stream back in this order.
+	Seeds []uint64 `json:"seeds"`
+}
+
+// Header is the first NDJSON object of a sweep response.
+type Header struct {
+	Version int `json:"version"`
+	// ScenarioHash is the content hash of the resolved scenario (the
+	// image-cache key component).
+	ScenarioHash string `json:"scenario_hash"`
+	Engine       string `json:"engine"`
+	WarmupMS     int64  `json:"warmup_ms"`
+	MeasureMS    int64  `json:"measure_ms"`
+	Seeds        int    `json:"seeds"`
+}
+
+// ErrorLine is the trailing NDJSON object of a failed sweep.
+type ErrorLine struct {
+	Error string `json:"error"`
+}
+
+// resolve validates the request and returns the scenario and engine it
+// names.
+func (r *SweepRequest) resolve() (scenario.Spec, machine.Engine, error) {
+	var spec scenario.Spec
+	if r.Version != 0 && r.Version != RequestVersion {
+		return spec, 0, fmt.Errorf("farm: request version %d, want %d", r.Version, RequestVersion)
+	}
+	switch {
+	case r.Name != "" && r.Scenario != nil:
+		return spec, 0, fmt.Errorf("farm: request sets both name and scenario")
+	case r.Name != "":
+		s, err := scenario.Named(r.Name)
+		if err != nil {
+			return spec, 0, err
+		}
+		spec = s
+	case r.Scenario != nil:
+		spec = *r.Scenario
+		if spec.RunMS == 0 {
+			// The sweep's run length is warmup+measure; the spec's own
+			// RunMS is unused, so let inline requests omit it.
+			spec.RunMS = r.WarmupMS + r.MeasureMS
+		}
+	default:
+		return spec, 0, fmt.Errorf("farm: request sets neither name nor scenario")
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, 0, err
+	}
+	engine := machine.EngineBatched
+	if r.Engine != "" {
+		e, err := machine.ParseEngine(r.Engine)
+		if err != nil {
+			return spec, 0, err
+		}
+		engine = e
+	}
+	if r.WarmupMS < 0 {
+		return spec, 0, fmt.Errorf("farm: warmup_ms %d out of range", r.WarmupMS)
+	}
+	if r.MeasureMS < 1 {
+		return spec, 0, fmt.Errorf("farm: measure_ms %d out of range", r.MeasureMS)
+	}
+	if len(r.Seeds) == 0 {
+		return spec, 0, fmt.Errorf("farm: empty seed list")
+	}
+	if len(r.Seeds) > maxSeeds {
+		return spec, 0, fmt.Errorf("farm: %d seeds exceeds the %d-seed request limit", len(r.Seeds), maxSeeds)
+	}
+	return spec, engine, nil
+}
+
+// maxSeeds bounds one request's fan-out.
+const maxSeeds = 1 << 20
+
+// cacheKey is the image-cache identity: everything the warm image's
+// bytes depend on.
+func cacheKey(spec scenario.Spec, engine machine.Engine, warmupMS int64) string {
+	return spec.Hash() + "|" + engine.String() + "|" + strconv.FormatInt(warmupMS, 10)
+}
+
+// ParseSeeds parses a CLI seed list: comma-separated entries, each a
+// single integer or an inclusive lo-hi range ("1,5,10-20").
+func ParseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseUint(lo, 10, 64)
+			b, err2 := strconv.ParseUint(hi, 10, 64)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("farm: bad seed range %q", part)
+			}
+			if b-a >= maxSeeds {
+				return nil, fmt.Errorf("farm: seed range %q exceeds the %d-seed limit", part, maxSeeds)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+		} else {
+			v, err := strconv.ParseUint(part, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("farm: bad seed %q", part)
+			}
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("farm: empty seed list %q", s)
+	}
+	return out, nil
+}
+
+// ScenarioNames lists the catalog scenarios a request's Name may
+// reference.
+func ScenarioNames() []string {
+	names := scenario.Names()
+	sort.Strings(names)
+	return names
+}

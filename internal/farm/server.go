@@ -1,0 +1,222 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"energysched/internal/experiments"
+	"energysched/internal/machine"
+	"energysched/internal/scenario"
+)
+
+// maxRequestBytes bounds a sweep request body (inline specs are small;
+// seed lists dominate).
+const maxRequestBytes = 16 << 20
+
+// Server executes sweep requests, either behind HTTP (Handler) or
+// in-process (Direct). Both paths share the image cache and produce
+// byte-identical NDJSON.
+type Server struct {
+	// RC supplies the worker pool (and the engine default when a
+	// request does not name one — RC.Engine is overridden per request).
+	RC experiments.RunConfig
+
+	cache *imageCache
+	logf  func(format string, args ...any)
+}
+
+// NewServer builds a server with an image cache of at most cacheBytes
+// (≤ 0 selects the 256 MiB default). logf, when non-nil, receives one
+// line per request.
+func NewServer(rc experiments.RunConfig, cacheBytes int64, logf func(format string, args ...any)) *Server {
+	if cacheBytes <= 0 {
+		cacheBytes = 256 << 20
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{RC: rc, cache: newImageCache(cacheBytes), logf: logf}
+}
+
+// Handler returns the daemon's HTTP mux:
+//
+//	POST /v1/sweep     — run a SweepRequest, stream NDJSON rows
+//	GET  /v1/scenarios — list catalog scenario names (JSON array)
+//	GET  /v1/healthz   — liveness ("ok")
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ScenarioNames())
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxRequestBytes {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, engine, err := req.resolve()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	image, hit, err := s.warmImage(spec, engine, req.WarmupMS)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	entries, bytes_, hits, misses := s.cache.stats()
+	s.logf("sweep %s engine=%s warmup=%dms measure=%dms seeds=%d cache=%s (cache: %d images, %d bytes, %d hits, %d misses)",
+		spec.Hash()[:12], engine, req.WarmupMS, req.MeasureMS, len(req.Seeds), cacheState, entries, bytes_, hits, misses)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Cache state lives in a header, not the body: direct and daemon
+	// bodies stay byte-identical.
+	w.Header().Set("X-Esfarmd-Cache", cacheState)
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	if err := s.stream(w, flush, spec, engine, image, req); err != nil {
+		// The header already went out; the error line is the trailer.
+		s.logf("sweep %s failed: %v", spec.Hash()[:12], err)
+	}
+}
+
+// ParseRequest decodes a sweep request, rejecting unknown fields so
+// schema typos fail loudly.
+func ParseRequest(data []byte) (SweepRequest, error) {
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("farm: %w", err)
+	}
+	return req, nil
+}
+
+// warmImage fetches the request's warm checkpoint image from the
+// cache, warming the scenario on a miss.
+func (s *Server) warmImage(spec scenario.Spec, engine machine.Engine, warmupMS int64) ([]byte, bool, error) {
+	rc := s.RC
+	rc.Engine = engine
+	return s.cache.get(cacheKey(spec, engine, warmupMS), func() ([]byte, error) {
+		return rc.WarmImage(spec, warmupMS)
+	})
+}
+
+// Direct executes a sweep request in-process and writes the same
+// NDJSON stream the daemon would. The CI smoke test byte-diffs this
+// against a round trip through the HTTP path.
+func (s *Server) Direct(w io.Writer, req SweepRequest) error {
+	spec, engine, err := req.resolve()
+	if err != nil {
+		return err
+	}
+	image, _, err := s.warmImage(spec, engine, req.WarmupMS)
+	if err != nil {
+		return err
+	}
+	return s.stream(w, func() {}, spec, engine, image, req)
+}
+
+// stream restores the warm image once and writes the header plus one
+// row per seed, in seed order, each row committed as soon as it and
+// all its predecessors are done. Worker panics surface as an error
+// trailer after the rows that did complete.
+func (s *Server) stream(w io.Writer, flush func(), spec scenario.Spec, engine machine.Engine, image []byte, req SweepRequest) error {
+	template, err := machine.Restore(image, nil)
+	if err != nil {
+		return writeError(w, err)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(Header{
+		Version:      RequestVersion,
+		ScenarioHash: spec.Hash(),
+		Engine:       engine.String(),
+		WarmupMS:     req.WarmupMS,
+		MeasureMS:    req.MeasureMS,
+		Seeds:        len(req.Seeds),
+	}); err != nil {
+		return err
+	}
+	flush()
+
+	rc := s.RC
+	rc.Engine = engine
+	results := make([]chan experiments.SeedRow, len(req.Seeds))
+	for i := range results {
+		results[i] = make(chan experiments.SeedRow, 1)
+	}
+	poolErr := make(chan error, 1)
+	go func() {
+		err := rc.ForEach(len(req.Seeds), func(i int) {
+			b, err := template.Branch(nil)
+			if err != nil {
+				panic(fmt.Sprintf("branch for seed %d: %v", req.Seeds[i], err))
+			}
+			results[i] <- experiments.MeasureSeed(b, req.Seeds[i], req.MeasureMS)
+		})
+		poolErr <- err
+		// Close every channel so a panicked slot cannot stall the
+		// committer: its receive sees the close instead of a row.
+		for _, ch := range results {
+			close(ch)
+		}
+	}()
+	for i := range req.Seeds {
+		row, ok := <-results[i]
+		if !ok {
+			break
+		}
+		if err := enc.Encode(row); err != nil {
+			// Client went away; drain the pool before returning.
+			<-poolErr
+			return err
+		}
+		flush()
+	}
+	if err := <-poolErr; err != nil {
+		return writeError(w, err)
+	}
+	return nil
+}
+
+// writeError emits the NDJSON error trailer and returns err.
+func writeError(w io.Writer, err error) error {
+	json.NewEncoder(w).Encode(ErrorLine{Error: err.Error()})
+	return err
+}

@@ -1,0 +1,61 @@
+package faults
+
+// InjectorState is the complete serializable mutable state of an
+// Injector. The static parts — the resolved spec, the scale/offset/
+// drift vectors, the diode resolution — are reconstructed from the
+// same (Spec, seed, nPkg) triple at restore time; only what evolves
+// during a run travels here.
+type InjectorState struct {
+	Rng          uint64
+	NextDriftMS  int64
+	DriftApplied int
+	Stuck        bool
+	HaveReads    bool
+	LastTemps    []float64
+	SenseIdx     int
+	DelayQ       []float64
+	ModelW       float64
+	Windows      int
+	BadRuns      int
+	GoodRuns     int
+	Fallback     bool
+}
+
+// State captures the injector's mutable state for checkpointing.
+func (in *Injector) State() InjectorState {
+	st := InjectorState{
+		Rng:          in.rng.State(),
+		NextDriftMS:  in.nextDriftMS,
+		DriftApplied: in.driftApplied,
+		Stuck:        in.stuck,
+		HaveReads:    in.haveReads,
+		LastTemps:    append([]float64(nil), in.lastTemps...),
+		SenseIdx:     in.senseIdx,
+		DelayQ:       append([]float64(nil), in.delayQ...),
+		ModelW:       in.modelW,
+		Windows:      in.windows,
+		BadRuns:      in.badRuns,
+		GoodRuns:     in.goodRuns,
+		Fallback:     in.fallback,
+	}
+	return st
+}
+
+// SetState restores state captured by State onto an injector freshly
+// built with the same (Spec, seed, nPkg); the fault stream then
+// continues bit-exactly.
+func (in *Injector) SetState(st InjectorState) {
+	in.rng.SetState(st.Rng)
+	in.nextDriftMS = st.NextDriftMS
+	in.driftApplied = st.DriftApplied
+	in.stuck = st.Stuck
+	in.haveReads = st.HaveReads
+	in.lastTemps = append(in.lastTemps[:0], st.LastTemps...)
+	in.senseIdx = st.SenseIdx
+	in.delayQ = append([]float64(nil), st.DelayQ...)
+	in.modelW = st.ModelW
+	in.windows = st.Windows
+	in.badRuns = st.BadRuns
+	in.goodRuns = st.GoodRuns
+	in.fallback = st.Fallback
+}

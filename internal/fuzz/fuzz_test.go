@@ -94,7 +94,7 @@ func TestShrink(t *testing.T) {
 	spec := Generate(42)
 	spec.Workload = append(spec.Workload, TaskGroup{Program: "httpd", Count: 4})
 	spec.Topology = TopoSpec{Nodes: 4, PackagesPerNode: 2, CoresPerPackage: 2, ThreadsPerCore: 2}
-	spec.resizePackages()
+	resizePackages(&spec)
 	spec.RunMS = 8000
 	if err := spec.Validate(); err != nil {
 		t.Fatalf("setup: %v", err)

@@ -195,7 +195,7 @@ func Generate(seed uint64) Spec {
 	}
 	if len(s.Workload) > 0 && r.Bool(0.35) {
 		s.Respawn = true
-		if !s.hasFiniteWork() {
+		if !hasFiniteWork(s) {
 			// Respawn only matters for finite tasks; make one group
 			// churn.
 			s.Workload[0].WorkMS = float64(400 + r.Intn(1600))
@@ -298,7 +298,7 @@ func EnsureFaults(s *Spec) {
 	s.Faults = genFaults(rng.New(s.Seed ^ 0xfa170))
 }
 
-func (s Spec) hasFiniteWork() bool {
+func hasFiniteWork(s Spec) bool {
 	for _, g := range s.Workload {
 		if g.WorkMS > 0 {
 			return true

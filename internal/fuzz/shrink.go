@@ -67,13 +67,13 @@ func candidates(s Spec) []Spec {
 	if s.Topology.Nodes > 1 {
 		c := clone(s)
 		c.Topology.Nodes /= 2
-		c.resizePackages()
+		resizePackages(&c)
 		add(c)
 	}
 	if s.Topology.PackagesPerNode > 1 {
 		c := clone(s)
 		c.Topology.PackagesPerNode = 1
-		c.resizePackages()
+		resizePackages(&c)
 		add(c)
 	}
 	if s.Topology.CoresPerPackage > 1 {
@@ -172,7 +172,7 @@ func candidates(s Spec) []Spec {
 }
 
 // resizePackages truncates per-package slices after a topology shrink.
-func (s *Spec) resizePackages() {
+func resizePackages(s *Spec) {
 	nPkg := s.Topology.Layout().NumPackages()
 	if len(s.Packages) > nPkg {
 		s.Packages = s.Packages[:nPkg]

@@ -12,303 +12,26 @@
 // Failing scenarios are minimized by a greedy shrinker and committed to
 // the corpus/ directory, which corpus_test.go replays as ordinary go
 // tests: a corpus failure is a tier-1 failure.
+//
+// The scenario schema itself lives in internal/scenario — the fuzzer,
+// the benchmark scenarios, estrace, and the esfarmd sweep daemon all
+// share one versioned Spec, so a fuzz-shrunk failure replays verbatim
+// against any of them. The aliases below keep the fuzzer's historical
+// names (and the corpus JSON format, which is unchanged) working.
 package fuzz
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
+import "energysched/internal/scenario"
 
-	"energysched/internal/dvfs"
-	"energysched/internal/energy"
-	"energysched/internal/faults"
-	"energysched/internal/machine"
-	"energysched/internal/sched"
-	"energysched/internal/thermal"
-	"energysched/internal/topology"
-	"energysched/internal/trace"
-	"energysched/internal/workload"
+// Spec and its component types are aliases of the shared scenario
+// schema; see internal/scenario for the definitions.
+type (
+	Spec        = scenario.Spec
+	TopoSpec    = scenario.TopoSpec
+	PackageSpec = scenario.PackageSpec
+	SchedSpec   = scenario.SchedSpec
+	DVFSSpec    = scenario.DVFSSpec
+	TaskGroup   = scenario.TaskGroup
 )
 
-// TopoSpec is a serializable topology.Layout.
-type TopoSpec struct {
-	Nodes           int `json:"nodes"`
-	PackagesPerNode int `json:"packages_per_node"`
-	CoresPerPackage int `json:"cores_per_package"`
-	ThreadsPerCore  int `json:"threads_per_core"`
-}
-
-// Layout converts to the topology package's type.
-func (t TopoSpec) Layout() topology.Layout {
-	return topology.Layout{
-		Nodes:             t.Nodes,
-		PackagesPerNode:   t.PackagesPerNode,
-		CoresPerPackage:   t.CoresPerPackage,
-		ThreadsPerPackage: t.ThreadsPerCore,
-	}
-}
-
-// PackageSpec is one package's thermal calibration. Heterogeneous
-// calibrations (distinct R·C across packages) drive the machine's
-// per-tracker thermal-weight fallback.
-type PackageSpec struct {
-	R        float64 `json:"r"`
-	C        float64 `json:"c"`
-	AmbientC float64 `json:"ambient_c"`
-}
-
-// SchedSpec selects and tunes the scheduling policy.
-type SchedSpec struct {
-	// Policy is "default" (all paper mechanisms on) or "baseline"
-	// (load balancing only).
-	Policy string `json:"policy"`
-	// BalancePeriodMS / HotCheckPeriodMS override the policy's
-	// deadline periods when > 0.
-	BalancePeriodMS  float64 `json:"balance_period_ms,omitempty"`
-	HotCheckPeriodMS float64 `json:"hot_check_period_ms,omitempty"`
-	UnitAware        bool    `json:"unit_aware,omitempty"`
-}
-
-// DVFSSpec is a serializable dvfs.Config.
-type DVFSSpec struct {
-	Governor            string      `json:"governor"`
-	EvalPeriodMS        int         `json:"eval_period_ms,omitempty"`
-	TransitionLatencyMS int         `json:"transition_latency_ms,omitempty"`
-	Ladder              [][]float64 `json:"ladder,omitempty"` // [freqMHz, voltageV] pairs, ascending
-}
-
-// TaskGroup spawns Count instances of a catalog program; WorkMS > 0
-// makes them finite (finishing after that much executed work).
-type TaskGroup struct {
-	Program string  `json:"program"`
-	Count   int     `json:"count"`
-	WorkMS  float64 `json:"work_ms,omitempty"`
-}
-
-// Spec is a fully serializable scenario: everything needed to rebuild
-// the same machine under any engine. The JSON form is the corpus
-// format.
-type Spec struct {
-	Name string `json:"name,omitempty"`
-	// Note records the root cause a corpus scenario regression-tests.
-	Note string `json:"note,omitempty"`
-	Seed uint64 `json:"seed"`
-
-	Topology TopoSpec      `json:"topology"`
-	Packages []PackageSpec `json:"packages,omitempty"` // empty: reference props
-
-	BudgetW    []float64 `json:"budget_w,omitempty"` // 1 value or one per package
-	LimitTempC float64   `json:"limit_temp_c,omitempty"`
-
-	Throttle       bool   `json:"throttle,omitempty"`
-	Scope          string `json:"scope,omitempty"` // "logical", "core", "package"
-	TaskThrottling bool   `json:"task_throttling,omitempty"`
-
-	UnitThermal bool    `json:"unit_thermal,omitempty"`
-	UnitLimitC  float64 `json:"unit_limit_c,omitempty"`
-
-	Sched SchedSpec `json:"sched"`
-	DVFS  *DVFSSpec `json:"dvfs,omitempty"`
-
-	MaxQuantumMS    int  `json:"max_quantum_ms,omitempty"`
-	MonitorPeriodMS int  `json:"monitor_period_ms,omitempty"`
-	Respawn         bool `json:"respawn,omitempty"`
-
-	Workload []TaskGroup `json:"workload"`
-
-	RunMS int64 `json:"run_ms"`
-	// Chunks splits the fast engines' Run into this many segments
-	// (plus a remainder), exercising Run-boundary clamping and the
-	// async engine's end-of-Run settling. ≤ 1 means one call.
-	Chunks int `json:"chunks,omitempty"`
-	// Shards is the parallel engine's shard count for its oracle pass
-	// (0: one per NUMA node). Any count must be unobservable; the
-	// serial engines ignore it.
-	Shards int `json:"shards,omitempty"`
-
-	// Faults injects estimator mis-calibration/drift, thermal-diode
-	// sensor faults, and the recalibration/fallback loop — all
-	// deterministic from Seed, so the oracle cross-checks the fault
-	// paths across engines like any other machine state.
-	Faults *faults.Spec `json:"faults,omitempty"`
-}
-
-// scopeOf maps the spec's scope name; empty defaults to "logical".
-func scopeOf(s string) (machine.ThrottleScope, error) {
-	switch s {
-	case "", "logical":
-		return machine.ThrottlePerLogical, nil
-	case "core":
-		return machine.ThrottlePerCore, nil
-	case "package":
-		return machine.ThrottlePerPackage, nil
-	}
-	return 0, fmt.Errorf("fuzz: unknown throttle scope %q", s)
-}
-
-// schedConfig resolves the spec's scheduling policy.
-func (s Spec) schedConfig() (sched.Config, error) {
-	var cfg sched.Config
-	switch s.Sched.Policy {
-	case "", "default":
-		cfg = sched.DefaultConfig()
-	case "baseline":
-		cfg = sched.BaselineConfig()
-	default:
-		return cfg, fmt.Errorf("fuzz: unknown sched policy %q", s.Sched.Policy)
-	}
-	if s.Sched.BalancePeriodMS > 0 {
-		cfg.BalancePeriodMS = s.Sched.BalancePeriodMS
-	}
-	if s.Sched.HotCheckPeriodMS > 0 {
-		cfg.HotCheckPeriodMS = s.Sched.HotCheckPeriodMS
-	}
-	if s.Sched.UnitAware {
-		cfg.UnitAwareBalancing = true
-	}
-	return cfg, nil
-}
-
-// machineConfig maps the spec to a machine.Config for one engine.
-func (s Spec) machineConfig(e machine.Engine) (machine.Config, error) {
-	schedCfg, err := s.schedConfig()
-	if err != nil {
-		return machine.Config{}, err
-	}
-	scope, err := scopeOf(s.Scope)
-	if err != nil {
-		return machine.Config{}, err
-	}
-	cfg := machine.Config{
-		Layout:          s.Topology.Layout(),
-		Engine:          e,
-		Shards:          s.Shards,
-		MaxQuantumMS:    s.MaxQuantumMS,
-		Sched:           schedCfg,
-		Seed:            s.Seed,
-		LimitTempC:      s.LimitTempC,
-		ThrottleEnabled: s.Throttle,
-		Scope:           scope,
-		TaskThrottling:  s.TaskThrottling,
-		UnitThermal:     s.UnitThermal,
-		UnitLimitC:      s.UnitLimitC,
-		RespawnFinished: s.Respawn,
-		MonitorPeriodMS: s.MonitorPeriodMS,
-		Faults:          s.Faults,
-	}
-	if len(s.Packages) > 0 {
-		cfg.PackageProps = make([]thermal.Properties, len(s.Packages))
-		for i, p := range s.Packages {
-			cfg.PackageProps[i] = thermal.Properties{R: p.R, C: p.C, AmbientC: p.AmbientC}
-		}
-	}
-	if len(s.BudgetW) > 0 {
-		cfg.PackageMaxPowerW = append([]float64(nil), s.BudgetW...)
-	}
-	if s.DVFS != nil {
-		d := &dvfs.Config{
-			Governor:            s.DVFS.Governor,
-			EvalPeriodMS:        s.DVFS.EvalPeriodMS,
-			TransitionLatencyMS: s.DVFS.TransitionLatencyMS,
-		}
-		for _, ps := range s.DVFS.Ladder {
-			if len(ps) != 2 {
-				return cfg, fmt.Errorf("fuzz: ladder entry %v: want [freqMHz, voltageV]", ps)
-			}
-			d.Ladder = append(d.Ladder, dvfs.PState{FreqMHz: ps[0], VoltageV: ps[1]})
-		}
-		cfg.DVFS = d
-	}
-	return cfg, nil
-}
-
-// Build constructs the spec's machine for one engine, with an attached
-// trace recorder, and spawns the workload. The same spec built twice
-// produces byte-identical machines.
-func (s Spec) Build(e machine.Engine, rec *trace.Recorder) (*machine.Machine, error) {
-	cfg, err := s.machineConfig(e)
-	if err != nil {
-		return nil, err
-	}
-	cfg.Trace = rec
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	cat := workload.NewCatalog(energy.DefaultTrueModel())
-	for _, g := range s.Workload {
-		prog := cat.ByName(g.Program)
-		if prog == nil {
-			return nil, fmt.Errorf("fuzz: unknown program %q", g.Program)
-		}
-		if g.WorkMS > 0 {
-			prog = workload.WithWork(prog, g.WorkMS)
-		}
-		m.SpawnN(prog, g.Count)
-	}
-	return m, nil
-}
-
-// Validate rejects specs that cannot build a machine — the generator
-// must never produce one, and corpus edits are caught early.
-func (s Spec) Validate() error {
-	if err := s.Topology.Layout().Validate(); err != nil {
-		return err
-	}
-	nPkg := s.Topology.Layout().NumPackages()
-	if n := len(s.Packages); n != 0 && n != nPkg {
-		return fmt.Errorf("fuzz: %d package specs for %d packages", n, nPkg)
-	}
-	if n := len(s.BudgetW); n != 0 && n != 1 && n != nPkg {
-		return fmt.Errorf("fuzz: %d budgets for %d packages", n, nPkg)
-	}
-	if s.RunMS < 1 {
-		return fmt.Errorf("fuzz: RunMS %d out of range", s.RunMS)
-	}
-	for _, g := range s.Workload {
-		if g.Count < 1 {
-			return fmt.Errorf("fuzz: task group %q count %d", g.Program, g.Count)
-		}
-	}
-	// Everything else is validated by the machine constructor.
-	_, err := s.Build(machine.EngineLockstep, nil)
-	return err
-}
-
-// TotalTasks returns the number of initially spawned tasks.
-func (s Spec) TotalTasks() int {
-	n := 0
-	for _, g := range s.Workload {
-		n += g.Count
-	}
-	return n
-}
-
-// CostMS estimates the lockstep reference cost in CPU-milliseconds
-// (logical CPUs × run length) — the generator's run-length budget and
-// the CLI's progress metric.
-func (s Spec) CostMS() int64 {
-	return int64(s.Topology.Layout().NumLogical()) * s.RunMS
-}
-
-// WriteFile serializes the spec as indented JSON.
-func (s Spec) WriteFile(path string) error {
-	data, err := json.MarshalIndent(s, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
 // LoadSpec reads a corpus JSON file.
-func LoadSpec(path string) (Spec, error) {
-	var s Spec
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return s, err
-	}
-	if err := json.Unmarshal(data, &s); err != nil {
-		return s, fmt.Errorf("%s: %w", path, err)
-	}
-	return s, nil
-}
+func LoadSpec(path string) (Spec, error) { return scenario.LoadFile(path) }

@@ -2,27 +2,27 @@
 // both consumers that measure them: the go-test benchmarks
 // (internal/machine BenchmarkEngines / BenchmarkLargeTopology) and the
 // perf-trajectory recorder (cmd/esbench, which writes BENCH_<date>.json
-// and the CI artifact). A single definition keeps the committed
-// trajectory comparable with `go test -bench` numbers — two
-// hand-maintained copies of the layouts, budgets, and spawn mixes would
-// silently drift.
+// and the CI artifact). The machine configurations themselves live in
+// the shared scenario catalog (internal/scenario, the same names
+// esfarmd serves); this package only adds the timing envelopes — chunk
+// and warm-up lengths, and which engines a case excludes. A single
+// definition keeps the committed trajectory comparable with
+// `go test -bench` numbers and with farm sweeps of the same names.
 package benchscen
 
 import (
-	"energysched/internal/dvfs"
-	"energysched/internal/energy"
 	"energysched/internal/machine"
-	"energysched/internal/sched"
-	"energysched/internal/topology"
-	"energysched/internal/workload"
+	"energysched/internal/scenario"
 )
 
-// Scenario is one benchmark case: a machine configuration plus its
-// workload, shared across engines.
+// Scenario is one benchmark case: a catalog scenario plus its timing
+// envelope, shared across engines.
 type Scenario struct {
-	// Name identifies the case ("engines/idle-heavy",
-	// "large/256cpu/saturated", ...).
+	// Name identifies the case and is also its key in the scenario
+	// catalog ("engines/idle-heavy", "large/256cpu/saturated", ...).
 	Name string
+	// Spec is the catalog entry the machine is built from.
+	Spec scenario.Spec
 	// SimChunkMS is the simulated milliseconds per timed iteration.
 	SimChunkMS int64
 	// WarmupMS settles dispatch/placement transients before timing.
@@ -34,8 +34,15 @@ type Scenario struct {
 	// engine-regime cases: with one or two nodes the fork has nothing
 	// to shard, so the rows would only re-measure async).
 	SkipParallel bool
-	// New builds the machine, workload spawned, on the given engine.
-	New func(e machine.Engine) *machine.Machine
+}
+
+// New builds the machine, workload spawned, on the given engine.
+func (s Scenario) New(e machine.Engine) *machine.Machine {
+	m, err := s.Spec.Build(e, nil)
+	if err != nil {
+		panic("benchscen: " + s.Name + ": " + err.Error())
+	}
+	return m
 }
 
 // Skips reports whether the scenario excludes an engine.
@@ -44,157 +51,58 @@ func (s Scenario) Skips(e machine.Engine) bool {
 		s.SkipParallel && e == machine.EngineParallel
 }
 
-func builder(lay topology.Layout, budget float64, throttle bool, populate func(cat *workload.Catalog, m *machine.Machine)) func(machine.Engine) *machine.Machine {
-	return func(e machine.Engine) *machine.Machine {
-		cfg := machine.Config{
-			Engine:           e,
-			Layout:           lay,
-			Sched:            sched.DefaultConfig(),
-			Seed:             1,
-			PackageMaxPowerW: []float64{budget},
-		}
-		if throttle {
-			cfg.ThrottleEnabled = true
-			cfg.Scope = machine.ThrottlePerLogical
-			cfg.RespawnFinished = true
-		}
-		m := machine.MustNew(cfg)
-		populate(workload.NewCatalog(energy.DefaultTrueModel()), m)
-		return m
+func fromCatalog(name string, chunkMS, warmupMS int64, skipLockstep, skipParallel bool) Scenario {
+	return Scenario{
+		Name:         name,
+		Spec:         scenario.MustNamed(name),
+		SimChunkMS:   chunkMS,
+		WarmupMS:     warmupMS,
+		SkipLockstep: skipLockstep,
+		SkipParallel: skipParallel,
 	}
 }
 
-func saturate(cat *workload.Catalog, m *machine.Machine, per int) {
-	for _, p := range cat.Table2Set() {
-		m.SpawnN(p, per)
-	}
-}
-
-// Engines returns the three workload regimes that bound the engines'
+// Engines returns the four workload regimes that bound the engines'
 // speedups: idle-heavy (a large machine where most CPUs sleep while a
 // few run hot — the async engine's case), steady-state (saturated;
-// quanta bounded by balance/hot-check deadlines, nothing to park), and
+// quanta bounded by balance/hot-check deadlines, nothing to park),
 // churn-heavy (completions, respawns, and throttle oscillation shrink
-// the quanta).
+// the quanta), and dvfs-thermal (governor deadlines cap the quanta of
+// busy CPUs at the evaluation period and pending transitions add
+// planner horizons — what the thermal governor costs each engine on a
+// hot mixed workload).
 func Engines() []Scenario {
 	return []Scenario{
-		{
-			Name: "engines/idle-heavy", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
-			New: builder(topology.Server64(), 120, false, func(cat *workload.Catalog, m *machine.Machine) {
-				m.SpawnN(cat.Sshd(), 3)
-				m.SpawnN(cat.Httpd(), 3)
-				m.SpawnN(cat.Bitcnts(), 2)
-			}),
-		},
-		{
-			Name: "engines/steady-state", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
-			New: builder(topology.XSeries445NoSMT(), 60, false, func(cat *workload.Catalog, m *machine.Machine) {
-				saturate(cat, m, 2)
-			}),
-		},
-		{
-			Name: "engines/churn-heavy", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
-			New: builder(topology.XSeries445NoSMT(), 50, true, func(cat *workload.Catalog, m *machine.Machine) {
-				m.SpawnN(workload.WithWork(cat.Bitcnts(), 2000), 6)
-				m.SpawnN(workload.WithWork(cat.Memrw(), 2000), 6)
-				m.SpawnN(cat.Bash(), 4)
-			}),
-		},
-		{
-			// DVFS overhead: governor deadlines cap the quanta of busy
-			// CPUs at the evaluation period and pending transitions add
-			// planner horizons — this scenario tracks what the thermal
-			// governor costs each engine on a hot mixed workload.
-			Name: "engines/dvfs-thermal", SimChunkMS: 10_000, WarmupMS: 5_000, SkipParallel: true,
-			New: func(e machine.Engine) *machine.Machine {
-				m := machine.MustNew(machine.Config{
-					Engine:           e,
-					Layout:           topology.XSeries445NoSMT(),
-					Sched:            sched.DefaultConfig(),
-					Seed:             1,
-					PackageMaxPowerW: []float64{40},
-					ThrottleEnabled:  true,
-					Scope:            machine.ThrottlePerLogical,
-					DVFS:             &dvfs.Config{Governor: "thermal"},
-				})
-				cat := workload.NewCatalog(energy.DefaultTrueModel())
-				m.SpawnN(cat.Bitcnts(), 4)
-				m.SpawnN(cat.Bash(), 4)
-				return m
-			},
-		},
+		fromCatalog("engines/idle-heavy", 10_000, 5_000, false, true),
+		fromCatalog("engines/steady-state", 10_000, 5_000, false, true),
+		fromCatalog("engines/churn-heavy", 10_000, 5_000, false, true),
+		fromCatalog("engines/dvfs-thermal", 10_000, 5_000, false, true),
 	}
 }
 
 // Large returns the larger-than-paper layouts (ROADMAP: 64–256 logical
 // CPUs) in the two regimes that matter at scale: mostly-idle (a few
-// hot tasks on a big box) and saturated (planner cost dominates).
+// hot tasks on a big box) and saturated (planner cost dominates) —
+// plus wide-idle at the two largest layouts: interactive
+// (mostly-blocked) tasks only, so nearly all CPUs park and the quantum
+// is bounded by wake-ups alone — the regime the event-driven deadline
+// scheduler and the lifted MaxQuantumMS cap target. (The 1024-CPU
+// wide-idle budget is 360 W so the per-core budget stays level with
+// the 256-CPU run's; at 120 W the quad-core packages' tighter cores
+// would sit at budget under a single busy task and the pair would
+// compare hot-migration storms instead of engine scaling.)
 func Large() []Scenario {
 	var out []Scenario
-	for _, lay := range []struct {
-		name   string
-		layout topology.Layout
-	}{
-		{"64cpu", topology.Server64()},
-		{"256cpu", topology.Server256()},
-		{"1024cpu", topology.Server1024()},
-	} {
-		mostlyIdle := func(cat *workload.Catalog, m *machine.Machine) {
-			m.SpawnN(cat.Sshd(), 3)
-			m.SpawnN(cat.Httpd(), 3)
-			m.SpawnN(cat.Bitcnts(), 4)
-		}
-		per := lay.layout.NumLogical() / 6
-		saturated := func(cat *workload.Catalog, m *machine.Machine) {
-			saturate(cat, m, per)
-		}
-		skip := lay.name != "64cpu"
+	for _, name := range []string{"64cpu", "256cpu", "1024cpu"} {
+		skip := name != "64cpu"
 		out = append(out,
-			Scenario{
-				Name: "large/" + lay.name + "/mostly-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
-				SkipLockstep: skip,
-				New:          builder(lay.layout, 120, false, mostlyIdle),
-			},
-			Scenario{
-				Name: "large/" + lay.name + "/saturated", SimChunkMS: 5_000, WarmupMS: 3_000,
-				SkipLockstep: skip,
-				New:          builder(lay.layout, 120, false, saturated),
-			},
+			fromCatalog("large/"+name+"/mostly-idle", 5_000, 3_000, skip, false),
+			fromCatalog("large/"+name+"/saturated", 5_000, 3_000, skip, false),
 		)
 	}
-	// Wide-idle at the largest layout: interactive (mostly-blocked)
-	// tasks only, so nearly all 256 CPUs park and the quantum is
-	// bounded by wake-ups alone — the regime the event-driven deadline
-	// scheduler and the lifted MaxQuantumMS cap target: fully-idle
-	// spans cost O(1) per quantum instead of an O(nCPU) deadline sweep
-	// per plan.
-	wideIdle := func(cat *workload.Catalog, m *machine.Machine) {
-		m.SpawnN(cat.Sshd(), 6)
-		m.SpawnN(cat.Httpd(), 6)
-	}
 	out = append(out,
-		Scenario{
-			Name: "large/256cpu/wide-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
-			SkipLockstep: true,
-			New:          builder(topology.Server256(), 120, false, wideIdle),
-		},
-		// The same dozen interactive tasks on 1024 logical CPUs: with
-		// O(busy) phase iteration the step cost should track the task
-		// count, not the machine width, so this should stay within ~2×
-		// of the 256-CPU run (the residual being the O(nCPU) phases the
-		// active lists cannot remove: monitor materialization and the
-		// park sweep's package scan). The 360 W budget keeps the
-		// per-core budget (pkg / cores / coupling) level with the
-		// 256-CPU run's 44 W: at 120 W the quad-core packages' tighter
-		// cores sit at their budget under a single busy task, arming
-		// hot-task scans the narrower layout never sees — the pair
-		// would then compare hot-migration storms against wake-bounded
-		// quanta instead of engine scaling.
-		Scenario{
-			Name: "large/1024cpu/wide-idle", SimChunkMS: 5_000, WarmupMS: 3_000,
-			SkipLockstep: true,
-			New:          builder(topology.Server1024(), 360, false, wideIdle),
-		},
+		fromCatalog("large/256cpu/wide-idle", 5_000, 3_000, true, false),
+		fromCatalog("large/1024cpu/wide-idle", 5_000, 3_000, true, false),
 	)
 	return out
 }

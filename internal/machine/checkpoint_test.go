@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"energysched/internal/rng"
+	"energysched/internal/trace"
+)
+
+// TestCheckpointRoundTrip checkpoints every equivalence scenario at a
+// pseudo-random mid-run instant on all four engines, restores, and
+// asserts the restored machine is indistinguishable from the original
+// continuing uninterrupted: byte-identical event traces over the
+// remainder, a tol-0 snapshot diff at the end, and byte-identical
+// final checkpoints.
+func TestCheckpointRoundTrip(t *testing.T) {
+	engines := []Engine{EngineBatched, EngineLockstep, EngineAsync, EngineParallel}
+	for si, sc := range engineScenarios() {
+		for _, e := range engines {
+			sc, si, e := sc, si, e
+			t.Run(sc.name+"/"+e.String(), func(t *testing.T) {
+				// Deterministic per-(scenario, engine) split point in
+				// [1, runMS-1].
+				r := rng.New(uint64(si)<<8 | uint64(e) + 0xc0ffee)
+				k := 1 + int64(r.Uint64()%uint64(sc.runMS-1))
+				rest := sc.runMS - k
+
+				m := sc.build(e)
+				m.Run(k)
+				data, err := m.Checkpoint()
+				if err != nil {
+					t.Fatalf("checkpoint at %d ms: %v", k, err)
+				}
+				// Identical state must encode to identical bytes (the
+				// farm's image cache keys on content).
+				data2, err := m.Checkpoint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(data, data2) {
+					t.Fatalf("repeated checkpoint of an unchanged machine differs (%d vs %d bytes)", len(data), len(data2))
+				}
+
+				recB := trace.New(0)
+				m2, err := Restore(data, recB)
+				if err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if err := m2.CheckInvariants(); err != nil {
+					t.Fatalf("restored machine violates invariants: %v", err)
+				}
+
+				recA := trace.New(0)
+				m.Cfg.Trace = recA
+				m.Run(rest)
+				m2.Run(rest)
+
+				a, b := traceCSV(t, recA), traceCSV(t, recB)
+				if a != b {
+					t.Errorf("post-restore trace differs (%d vs %d bytes): %s",
+						len(a), len(b), firstTraceDiff(a, b))
+				}
+				if diffs := DiffSnapshots(m.Snapshot(), m2.Snapshot(), 0); len(diffs) > 0 {
+					t.Errorf("snapshot diverged after restore: %v", diffs)
+				}
+				ca, err := m.Checkpoint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := m2.Checkpoint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ca, cb) {
+					t.Errorf("final checkpoints differ (%d vs %d bytes)", len(ca), len(cb))
+				}
+			})
+		}
+	}
+}
+
+// TestBranchDivergence asserts the fan-out contract: branches of one
+// machine are bit-exact copies until reseeded, same-seed branches stay
+// bit-exact, and different seeds actually diverge.
+func TestBranchDivergence(t *testing.T) {
+	scs := engineScenarios()
+	sc := scs[1] // steady-state: always-busy stochastic workload
+	m := sc.build(EngineAsync)
+	m.Run(5000)
+
+	runAndSnap := func(b *Machine) []byte {
+		b.Run(5000)
+		data, err := b.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	b1, err := m.Branch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.Branch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := m.Branch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := m.Branch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Reseed(7)
+	b2.Reseed(7)
+	b3.Reseed(8)
+
+	d1, d2, d3, d4 := runAndSnap(b1), runAndSnap(b2), runAndSnap(b3), runAndSnap(b4)
+	if !bytes.Equal(d1, d2) {
+		t.Error("same-seed branches diverged")
+	}
+	if bytes.Equal(d1, d3) {
+		t.Error("different-seed branches did not diverge")
+	}
+	if bytes.Equal(d1, d4) {
+		t.Error("reseeded branch did not diverge from the unseeded one")
+	}
+
+	// The parent was only read: it must continue exactly like an
+	// untouched branch of itself.
+	dm := runAndSnap(m)
+	if !bytes.Equal(dm, d4) {
+		t.Error("parent diverged from its own un-reseeded branch")
+	}
+}

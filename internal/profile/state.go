@@ -1,0 +1,67 @@
+package profile
+
+import "sort"
+
+// ExpAvgState is the serializable state of an ExpAvg. The weight/period
+// parameters are configuration, not state — the restoring side supplies
+// them again — so only the running value and the primed flag travel.
+// The lastPeriod/lastW memo is a pure cache and is simply dropped: the
+// first Update after a restore recomputes it.
+type ExpAvgState struct {
+	Value  float64
+	Primed bool
+}
+
+// State captures the average's mutable state for checkpointing.
+func (a *ExpAvg) State() ExpAvgState {
+	return ExpAvgState{Value: a.value, Primed: a.primed}
+}
+
+// SetState restores state captured by State. The pow-memo cache is
+// cleared; it repopulates on the next weighted update.
+func (a *ExpAvg) SetState(st ExpAvgState) {
+	a.value = st.Value
+	a.primed = st.Primed
+	a.lastPeriod = 0
+	a.lastW = 0
+}
+
+// State captures the task profile's running average.
+func (p *TaskProfile) State() ExpAvgState { return p.avg.State() }
+
+// SetState restores a task profile captured by State.
+func (p *TaskProfile) SetState(st ExpAvgState) { p.avg.SetState(st) }
+
+// ThermalState captures the CPU's thermal-power average.
+func (c *CPUPower) ThermalState() ExpAvgState { return c.thermal.State() }
+
+// SetThermalState restores the thermal-power average captured by
+// ThermalState.
+func (c *CPUPower) SetThermalState(st ExpAvgState) { c.thermal.SetState(st) }
+
+// PlacementEntry is one learned (binary → watts) pair of a
+// PlacementTable, in serializable form.
+type PlacementEntry struct {
+	Binary uint64
+	Watts  float64
+}
+
+// Entries returns the table's learned pairs sorted by binary hash —
+// deterministic order so two checkpoints of the same state are
+// byte-identical.
+func (t *PlacementTable) Entries() []PlacementEntry {
+	out := make([]PlacementEntry, 0, len(t.table))
+	for b, w := range t.table {
+		out = append(out, PlacementEntry{Binary: b, Watts: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Binary < out[j].Binary })
+	return out
+}
+
+// SetEntries replaces the table's learned pairs with entries.
+func (t *PlacementTable) SetEntries(entries []PlacementEntry) {
+	t.table = make(map[uint64]float64, len(entries))
+	for _, e := range entries {
+		t.table[e.Binary] = e.Watts
+	}
+}

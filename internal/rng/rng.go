@@ -47,6 +47,14 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64())
 }
 
+// State returns the generator's internal state, for checkpointing. A
+// Source restored with SetState continues the exact stream.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState overwrites the generator's internal state with a value
+// previously obtained from State.
+func (s *Source) SetState(v uint64) { s.state = v }
+
 // Float64 returns a uniformly distributed float64 in [0, 1).
 func (s *Source) Float64() float64 {
 	// 53 high-quality bits → [0,1) with full double precision.

@@ -210,6 +210,9 @@ func (t *Throttle) Engage(thermalPowerW float64) bool {
 // Engaged reports whether the throttle is currently engaged.
 func (t *Throttle) Engaged() bool { return t.engaged && t.LimitW > 0 }
 
+// SetEngaged overwrites the hysteresis latch, for checkpoint restore.
+func (t *Throttle) SetEngaged(v bool) { t.engaged = v }
+
 // Account advances the tick accounting by dtMS milliseconds spent in the
 // current engaged state.
 func (t *Throttle) Account(dtMS int64) {

@@ -1,0 +1,19 @@
+package units
+
+import "energysched/internal/profile"
+
+// State captures the per-unit running averages for checkpointing.
+func (p *Profile) State() [NumUnits]profile.ExpAvgState {
+	var st [NumUnits]profile.ExpAvgState
+	for u := range p.avgs {
+		st[u] = p.avgs[u].State()
+	}
+	return st
+}
+
+// SetState restores per-unit averages captured by State.
+func (p *Profile) SetState(st [NumUnits]profile.ExpAvgState) {
+	for u := range p.avgs {
+		p.avgs[u].SetState(st[u])
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"energysched/internal/counters"
+	"energysched/internal/rng"
+)
+
+// TaskState is the complete serializable state of a running Task: the
+// private rng stream, the phase machine position, and the cumulative
+// counter fractions. A Task rebuilt with RestoreTask from this state
+// continues bit-exactly — same phase transitions, same noise redraws,
+// same emitted counter sequence. The Program itself is not part of the
+// state; it is immutable and supplied again at restore time.
+type TaskState struct {
+	ID        int
+	Rng       uint64
+	Phase     int
+	PhaseLeft float64
+	DoneWork  float64
+	Noise     float64
+	NoiseLeft float64 // may be +Inf (noiseless phase)
+	RunLeft   float64 // may be +Inf (non-blocking phase)
+	Cum       counters.Frac
+	Emitted   counters.Counts
+}
+
+// State captures the task's complete mutable state for checkpointing.
+func (t *Task) State() TaskState {
+	return TaskState{
+		ID:        t.ID,
+		Rng:       t.rng.State(),
+		Phase:     t.phase,
+		PhaseLeft: t.phaseLeft,
+		DoneWork:  t.doneWork,
+		Noise:     t.noise,
+		NoiseLeft: t.noiseLeft,
+		RunLeft:   t.runLeft,
+		Cum:       t.cum,
+		Emitted:   t.emitted,
+	}
+}
+
+// RngState exposes the task's private rng state so a caller can reseed
+// the stream for branch divergence; see SetRngState.
+func (t *Task) RngState() uint64 { return t.rng.State() }
+
+// SetRngState overwrites the task's private rng state.
+func (t *Task) SetRngState(v uint64) { t.rng.SetState(v) }
+
+// RestoreTask rebuilds a Task from a checkpointed state. Unlike
+// NewTask it draws nothing from the rng — every field comes verbatim
+// from st, so the restored task's future is identical to the
+// original's.
+func RestoreTask(p *Program, st TaskState) *Task {
+	t := &Task{ID: st.ID, Prog: p}
+	// rng.New stores the seed as the state verbatim, so seeding with
+	// the captured state resumes the exact stream.
+	t.rng = rng.New(st.Rng)
+	t.phase = st.Phase
+	t.phaseLeft = st.PhaseLeft
+	t.doneWork = st.DoneWork
+	t.noise = st.Noise
+	t.noiseLeft = st.NoiseLeft
+	t.runLeft = st.RunLeft
+	t.cum = st.Cum
+	t.emitted = st.Emitted
+	return t
+}
